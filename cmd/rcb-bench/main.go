@@ -1,0 +1,95 @@
+// Command rcb-bench regenerates the paper's evaluation artifacts: Figures
+// 6, 7 and 8, Table 1, the shape-check summary, and the ablation suite.
+//
+// Usage:
+//
+//	rcb-bench -all                 # everything
+//	rcb-bench -figure 6            # one figure (6, 7 or 8)
+//	rcb-bench -table 1             # Table 1
+//	rcb-bench -shapes              # paper-claim shape checks
+//	rcb-bench -ablation -site cnn.com
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rcb/internal/experiment"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "regenerate figure 6, 7 or 8")
+	table := flag.Int("table", 0, "regenerate table 1")
+	shapes := flag.Bool("shapes", false, "run the paper-claim shape checks")
+	ablation := flag.Bool("ablation", false, "run the ablation suite")
+	mobile := flag.Bool("mobile", false, "run the Fennec/N810 mobile experiment (paper §6)")
+	all := flag.Bool("all", false, "regenerate everything")
+	site := flag.String("site", "google.com", "site for -ablation")
+	reps := flag.Int("reps", 3, "repetitions for M5/M6 measurements")
+	flag.Parse()
+
+	if !*all && *figure == 0 && *table == 0 && !*shapes && !*ablation && !*mobile {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := experiment.Options{Reps: *reps}
+
+	var lan, wan []*experiment.SiteResult
+	needLAN := *all || *figure == 6 || *figure == 8 || *table == 1 || *shapes
+	needWAN := *all || *figure == 7 || *shapes
+	var err error
+	if needLAN {
+		fmt.Fprintln(os.Stderr, "running LAN pipeline over the 20-site corpus...")
+		if lan, err = experiment.RunAll(experiment.LAN, opt); err != nil {
+			fatal(err)
+		}
+	}
+	if needWAN {
+		fmt.Fprintln(os.Stderr, "running WAN pipeline over the 20-site corpus...")
+		if wan, err = experiment.RunAll(experiment.WAN, opt); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *all || *figure == 6 {
+		experiment.WriteFigure67(os.Stdout, "Figure 6: LAN", lan)
+		fmt.Println()
+	}
+	if *all || *figure == 7 {
+		experiment.WriteFigure67(os.Stdout, "Figure 7: WAN", wan)
+		fmt.Println()
+	}
+	if *all || *figure == 8 {
+		experiment.WriteFigure8(os.Stdout, "LAN", lan)
+		fmt.Println()
+	}
+	if *all || *table == 1 {
+		experiment.WriteTable1(os.Stdout, lan)
+		fmt.Println()
+	}
+	if *all || *shapes {
+		fmt.Println("Shape checks (paper claims vs this reproduction):")
+		for _, line := range experiment.ShapeChecks(lan, wan) {
+			fmt.Println("  " + line)
+		}
+		fmt.Println()
+	}
+	if *all || *ablation {
+		if err := experiment.WriteAblations(os.Stdout, *site, experiment.LAN); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *mobile {
+		names := []string{"google.com", "msn.com", "yahoo.com", "amazon.com"}
+		if err := experiment.WriteMobile(os.Stdout, names, experiment.N810, opt); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcb-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command rcb-host runs a co-browsing host over real TCP: a host browser
+// (backed by the synthetic site corpus) with RCB-Agent listening on a real
+// socket, so rcb-join processes on this or other machines can participate.
+//
+// Usage:
+//
+//	rcb-host -listen :3000 -site google.com
+//	rcb-host -listen :3000 -demo maps     # animated maps session
+//	rcb-host -listen :3000 -key secret123 # HMAC-protected session
+//
+// The host "browses": with -demo maps it re-centers and zooms the map every
+// few seconds; with -demo shop it walks the shopping flow; otherwise it
+// stays on the chosen site's homepage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+	"rcb/internal/sites"
+)
+
+func main() {
+	listen := flag.String("listen", ":3000", "TCP address for RCB-Agent")
+	site := flag.String("site", "google.com", "Table 1 site for the host to browse")
+	demo := flag.String("demo", "", "animated demo: 'maps' or 'shop'")
+	key := flag.String("key", "", "session secret; enables HMAC authentication")
+	cache := flag.Bool("cache", true, "serve cached objects to participants (cache mode)")
+	flag.Parse()
+
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		fatal(err)
+	}
+	defer corpus.Close()
+
+	// The agent's self-address is embedded in rewritten cache-mode URLs, so
+	// it must be the address participants can dial.
+	selfAddr := *listen
+	if strings.HasPrefix(selfAddr, ":") {
+		selfAddr = "localhost" + selfAddr
+	}
+	host := browser.New("host.local", corpus.Network.Dialer("host.local"))
+	defer host.Close()
+	agent := core.NewAgent(host, selfAddr)
+	agent.DefaultCacheMode = *cache
+	agent.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	if *key != "" {
+		agent.Auth = core.NewAuthenticator(*key)
+		fmt.Printf("session key: %s (share out of band)\n", *key)
+	}
+
+	server, l, err := httpwire.ListenAndServe(*listen, agent)
+	if err != nil {
+		fatal(err)
+	}
+	defer server.Close()
+	fmt.Printf("RCB-Agent listening on %s — join with: rcb-join -agent http://%s\n", l.Addr(), selfAddr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+
+	switch *demo {
+	case "maps":
+		runMapsDemo(host, corpus, stop)
+	case "shop":
+		runShopDemo(host, stop)
+	default:
+		spec, ok := sites.SiteByName(*site)
+		if !ok {
+			fatal(fmt.Errorf("unknown site %q", *site))
+		}
+		if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("host browsing %s; participants will sync it. Ctrl-C to stop.\n", spec.Name)
+		<-stop
+	}
+}
+
+func runMapsDemo(host *browser.Browser, corpus *sites.Corpus, stop <-chan os.Signal) {
+	if _, err := host.Navigate("http://" + sites.MapsHost + "/"); err != nil {
+		fatal(err)
+	}
+	ops := sites.MapsOps{Addr: sites.MapsHost, Client: host.Client}
+	if err := host.ApplyMutation(func(doc *dom.Document) error {
+		return ops.Search(doc, "653 5th Ave, New York")
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Println("maps demo: searching, then panning/zooming every 3s. Ctrl-C to stop.")
+	tick := time.NewTicker(3 * time.Second)
+	defer tick.Stop()
+	step := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		step++
+		err := host.ApplyMutation(func(doc *dom.Document) error {
+			switch step % 4 {
+			case 0:
+				return ops.Zoom(doc, 1)
+			case 1:
+				return ops.Pan(doc, 1, 0)
+			case 2:
+				return ops.Zoom(doc, -1)
+			default:
+				return ops.Pan(doc, -1, 0)
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "demo step:", err)
+		}
+	}
+}
+
+func runShopDemo(host *browser.Browser, stop <-chan os.Signal) {
+	steps := []string{
+		"http://" + sites.ShopHost + "/",
+		"http://" + sites.ShopHost + "/search?q=macbook",
+		"http://" + sites.ShopHost + "/product/1",
+	}
+	fmt.Println("shop demo: walking the shopping flow every 4s. Ctrl-C to stop.")
+	i := 0
+	tick := time.NewTicker(4 * time.Second)
+	defer tick.Stop()
+	for {
+		if _, err := host.Navigate(steps[i%len(steps)]); err != nil {
+			fmt.Fprintln(os.Stderr, "demo step:", err)
+		}
+		i++
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcb-host:", err)
+	os.Exit(1)
+}

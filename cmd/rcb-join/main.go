@@ -1,0 +1,89 @@
+// Command rcb-join participates in a co-browsing session over real TCP: it
+// runs the Ajax-Snippet logic against a live RCB-Agent (see rcb-host),
+// printing a line for every synchronization — the terminal stand-in for a
+// participant's browser window.
+//
+// Usage:
+//
+//	rcb-join -agent http://localhost:3000
+//	rcb-join -agent http://host.example:3000 -key secret123 -interval 500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/dom"
+)
+
+func main() {
+	agentURL := flag.String("agent", "http://localhost:3000", "RCB-Agent URL (as typed into the address bar)")
+	key := flag.String("key", "", "session secret shared by the host")
+	interval := flag.Duration("interval", time.Second, "polling interval")
+	fetch := flag.Bool("objects", true, "download supplementary objects")
+	flag.Parse()
+
+	b := browser.New("participant.local", func(addr string) (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	})
+	defer b.Close()
+	snip := core.NewSnippet(b, strings.TrimSuffix(*agentURL, "/"), *key)
+	snip.PollInterval = *interval
+	snip.FetchObjects = *fetch
+	snip.OnUserAction = func(a core.Action) {
+		fmt.Printf("  mirror: %s\n", a)
+	}
+
+	if err := snip.Join(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcb-join:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("joined %s; polling every %v. Ctrl-C to leave.\n", *agentURL, *interval)
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+
+	go snip.Run(stop, func(err error) {
+		fmt.Fprintln(os.Stderr, "poll:", err)
+	})
+
+	// Report each applied update until interrupted.
+	last := int64(0)
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			st := snip.Stats()
+			fmt.Printf("left session: %d polls, %d updates, %d objects fetched\n",
+				st.Polls, st.ContentPolls, st.ObjectFetches)
+			return
+		case <-tick.C:
+		}
+		if t := snip.DocTime(); t != last {
+			last = t
+			title := "(untitled)"
+			_ = b.WithDocument(func(_ string, doc *dom.Document) error {
+				if el := doc.Head().FirstChildElement("title"); el != nil {
+					title = el.TextContent()
+				}
+				return nil
+			})
+			st := snip.Stats()
+			fmt.Printf("synced %q  apply=%v  objects=%d (from host: %d)\n",
+				title, st.LastApplyTime.Round(time.Microsecond), st.ObjectFetches, st.ObjectsFromAgent)
+		}
+	}
+}

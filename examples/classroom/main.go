@@ -1,0 +1,124 @@
+// Classroom: the paper's online-training application — one instructor hosts
+// a moderated session for several students (paper §3.3: a tightly coupled
+// session presided over by the host, with a policy deciding who may act).
+// Students watch in read-only mode, their pointer activity still mirrors,
+// and an attempted student navigation is denied by policy. One student is
+// flipped to cache mode mid-session, showing per-participant mode control.
+//
+// Run with: go run ./examples/classroom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+	"rcb/internal/sites"
+)
+
+const students = 4
+
+func main() {
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+
+	instructor := browser.New("instructor.lan", corpus.Network.Dialer("instructor.lan"))
+	defer instructor.Close()
+	agent := core.NewAgent(instructor, "instructor.lan:3000")
+	agent.Policy = core.ReadOnlyPolicy()
+	l, err := corpus.Network.Listen("instructor.lan:3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &httpwire.Server{Handler: agent}
+	server.Start(l)
+	defer server.Close()
+
+	// The class joins.
+	class := make([]*core.Snippet, students)
+	for i := range class {
+		name := fmt.Sprintf("student%d.lan", i+1)
+		sb := browser.New(name, corpus.Network.Dialer(name))
+		defer sb.Close()
+		class[i] = core.NewSnippet(sb, "http://instructor.lan:3000", "")
+		if err := class[i].Join(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%d students connected: %d participants registered on the agent\n",
+		students, len(agent.Participants()))
+
+	// Flip student 1 into cache mode: it will fetch objects from the
+	// instructor's browser instead of the origin.
+	if err := agent.SetParticipantMode("p1", true); err != nil {
+		log.Fatal(err)
+	}
+
+	// The instructor walks the class through two course pages.
+	for _, url := range []string{
+		"http://www.wikipedia.org:80/",
+		"http://www.wikipedia.org:80/section/1",
+	} {
+		if _, err := instructor.Navigate(url); err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range class {
+			if _, err := s.PollOnce(); err != nil {
+				log.Fatalf("student %d: %v", i+1, err)
+			}
+		}
+		fmt.Printf("instructor showed %-40s class synced\n", url)
+	}
+	st := class[0].Stats()
+	fmt.Printf("student 1 fetched %d/%d objects from the instructor's cache\n",
+		st.ObjectsFromAgent, st.ObjectFetches)
+
+	// A student tries to navigate the class away: read-only policy drops it.
+	before := instructor.URL()
+	var linkPath string
+	err = class[1].Browser.WithDocument(func(_ string, doc *dom.Document) error {
+		link := doc.Root.Find(func(n *dom.Node) bool {
+			return n.Tag == "a" && n.HasAttr(core.RCBAttr)
+		})
+		if link == nil {
+			return fmt.Errorf("no clickable link on the student's page")
+		}
+		linkPath = link.AttrOr(core.RCBAttr, "")
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	class[1].QueueAction(core.Action{Kind: core.ActionClick, Target: linkPath})
+	if _, err := class[1].PollOnce(); err != nil {
+		log.Fatal(err)
+	}
+	if instructor.URL() != before {
+		log.Fatal("policy failed: student navigated the instructor")
+	}
+	fmt.Println("student 2's click was denied by the read-only policy")
+
+	// Pointer mirroring still flows: the instructor highlights a line and
+	// every student sees it.
+	seen := 0
+	for _, s := range class {
+		s.OnUserAction = func(a core.Action) {
+			if a.Kind == core.ActionMouseMove && a.From == "host" {
+				seen++
+			}
+		}
+	}
+	agent.HostAction(core.Action{Kind: core.ActionMouseMove, X: 100, Y: 60})
+	for _, s := range class {
+		if _, err := s.PollOnce(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("instructor's pointer mirrored to %d/%d students\n", seen, students)
+}

@@ -1,0 +1,102 @@
+// Maps: the paper's first usability scenario (§5.2.1) — Bob shows Alice the
+// way to the Cartier store on Fifth Avenue using the Ajax maps application.
+// Every zoom, pan and search changes the page content without changing the
+// URL; RCB synchronizes the content anyway, which is exactly what URL
+// sharing cannot do (demonstrated at the end with the baseline).
+//
+// Run with: go run ./examples/maps
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcb/internal/baseline"
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+	"rcb/internal/sites"
+)
+
+func main() {
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+
+	// Bob hosts.
+	bob := browser.New("bob.lan", corpus.Network.Dialer("bob.lan"))
+	defer bob.Close()
+	agent := core.NewAgent(bob, "bob.lan:3000")
+	agent.DefaultCacheMode = true
+	l, err := corpus.Network.Listen("bob.lan:3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &httpwire.Server{Handler: agent}
+	server.Start(l)
+	defer server.Close()
+
+	// Alice joins.
+	ab := browser.New("alice.lan", corpus.Network.Dialer("alice.lan"))
+	defer ab.Close()
+	alice := core.NewSnippet(ab, "http://bob.lan:3000", "")
+	alice.OnUserAction = func(a core.Action) {
+		if a.Kind == core.ActionMouseMove {
+			fmt.Printf("  alice sees bob's pointer at (%d,%d)\n", a.X, a.Y)
+		}
+	}
+	if err := alice.Join(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob opens the maps app and searches the store address.
+	if _, err := bob.Navigate("http://" + sites.MapsHost + "/"); err != nil {
+		log.Fatal(err)
+	}
+	ops := sites.MapsOps{Addr: sites.MapsHost, Client: bob.Client}
+	step := func(name string, fn func(doc *dom.Document) error) {
+		if err := bob.ApplyMutation(fn); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if _, err := alice.PollOnce(); err != nil {
+			log.Fatalf("%s sync: %v", name, err)
+		}
+		fmt.Printf("bob %-28s alice sees %q\n", name, aliceStatus(alice))
+	}
+
+	if _, err := alice.PollOnce(); err != nil {
+		log.Fatal(err)
+	}
+	step(`searches "653 5th Ave"`, func(d *dom.Document) error { return ops.Search(d, "653 5th Ave, New York") })
+	step("zooms in", func(d *dom.Document) error { return ops.Zoom(d, 1) })
+	step("pans east", func(d *dom.Document) error { return ops.Pan(d, 1, 0) })
+	step("opens street view", ops.OpenStreetView)
+
+	// Bob points at the meeting spot; Alice's next poll mirrors it.
+	agent.HostAction(core.Action{Kind: core.ActionMouseMove, X: 384, Y: 212})
+	if _, err := alice.PollOnce(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("they agree to meet outside the four red roof show-windows.")
+
+	// Contrast: URL sharing cannot reproduce Bob's view.
+	carol := browser.New("carol.lan", corpus.Network.Dialer("carol.lan"))
+	defer carol.Close()
+	share := baseline.URLShare{Host: bob, Participant: carol}
+	res := share.ShareCurrent()
+	fmt.Printf("\nURL-sharing baseline: %s\n", res.DescribeFailure())
+}
+
+func aliceStatus(s *core.Snippet) string {
+	status := "?"
+	_ = s.Browser.WithDocument(func(_ string, doc *dom.Document) error {
+		if el := doc.ByID("status"); el != nil {
+			status = el.TextContent()
+		}
+		return nil
+	})
+	return status
+}

@@ -1,0 +1,91 @@
+// Quickstart: the smallest complete RCB co-browsing session, in process.
+//
+// A host browser loads a page, RCB-Agent serves it, one participant joins
+// with nothing but "a regular browser" (the participant browser model plus
+// the Ajax-Snippet state machine), and the page — plus a live update —
+// synchronizes.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+	"rcb/internal/sites"
+)
+
+func main() {
+	// A virtual internet with the 20-site corpus, the maps app and the shop.
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+
+	// The host side: a browser plus the RCB-Agent extension listening on an
+	// open TCP port (paper step 1).
+	host := browser.New("host.lan", corpus.Network.Dialer("host.lan"))
+	defer host.Close()
+	agent := core.NewAgent(host, "host.lan:3000")
+	agent.DefaultCacheMode = true
+	l, err := corpus.Network.Listen("host.lan:3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &httpwire.Server{Handler: agent}
+	server.Start(l)
+	defer server.Close()
+
+	// The host browses somewhere.
+	if _, err := host.Navigate("http://www.google.com:80/"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("host is on:", host.URL())
+
+	// The participant side: type the agent URL into a regular browser
+	// (paper step 2) and let Ajax-Snippet poll.
+	pb := browser.New("alice.lan", corpus.Network.Dialer("alice.lan"))
+	defer pb.Close()
+	snippet := core.NewSnippet(pb, "http://host.lan:3000", "")
+	if err := snippet.Join(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := snippet.PollOnce(); err != nil {
+		log.Fatal(err)
+	}
+	printParticipantView(snippet, "after first sync")
+
+	// The host navigates; the next poll carries the new page.
+	if _, err := host.Navigate("http://www.apple.com:80/"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := snippet.PollOnce(); err != nil {
+		log.Fatal(err)
+	}
+	printParticipantView(snippet, "after host navigation")
+
+	st := snippet.Stats()
+	fmt.Printf("\nsnippet stats: %d polls, %d content updates, %d objects fetched (%d from host cache)\n",
+		st.Polls, st.ContentPolls, st.ObjectFetches, st.ObjectsFromAgent)
+	fmt.Printf("participant address bar never left: %s\n", snippet.Browser.URL())
+}
+
+func printParticipantView(s *core.Snippet, when string) {
+	err := s.Browser.WithDocument(func(_ string, doc *dom.Document) error {
+		title := "(none)"
+		if el := doc.Head().FirstChildElement("title"); el != nil {
+			title = el.TextContent()
+		}
+		fmt.Printf("%-24s participant sees title %q, %d body nodes\n",
+			when+":", title, doc.Body().CountNodes())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Shopping: the paper's second usability scenario (§5.2.2) — Bob and Alice
+// co-shop at the session-protected store. Alice browses and picks a laptop
+// from her own browser (her clicks route through Bob's session), co-fills
+// the shipping form, and Bob places the order. The same flow is impossible
+// with URL sharing because the cart lives in Bob's server-side session.
+//
+// Run with: go run ./examples/shopping
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+	"rcb/internal/sites"
+)
+
+func main() {
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+
+	bob := browser.New("bob.lan", corpus.Network.Dialer("bob.lan"))
+	defer bob.Close()
+	agent := core.NewAgent(bob, "bob.lan:3000")
+	l, err := corpus.Network.Listen("bob.lan:3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &httpwire.Server{Handler: agent}
+	server.Start(l)
+	defer server.Close()
+
+	ab := browser.New("alice.lan", corpus.Network.Dialer("alice.lan"))
+	defer ab.Close()
+	alice := core.NewSnippet(ab, "http://bob.lan:3000", "")
+	if err := alice.Join(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob opens the shop (his browser gets the session cookie) and searches.
+	mustNavigate(bob, "http://"+sites.ShopHost+"/")
+	mustPoll(alice)
+	var search *dom.Node
+	_ = bob.WithDocument(func(_ string, doc *dom.Document) error {
+		search = doc.ByID("search")
+		return nil
+	})
+	if _, err := bob.SubmitForm(search, []httpwire.FormField{{Name: "q", Value: "macbook air"}}); err != nil {
+		log.Fatal(err)
+	}
+	mustPoll(alice)
+	fmt.Println("bob searched; alice sees the same results page")
+
+	// Alice picks the SSD model from HER browser; the click is carried back
+	// by her poll and performed by Bob's browser against the shop.
+	if err := alice.ClickElement("result-2"); err != nil {
+		log.Fatal(err)
+	}
+	mustPoll(alice)
+	fmt.Printf("alice clicked result-2; bob's browser is now at %s\n", bob.URL())
+
+	// Bob adds it to the cart (session state!) and opens checkout.
+	var addForm *dom.Node
+	_ = bob.WithDocument(func(_ string, doc *dom.Document) error {
+		addForm = doc.ByID("addtocart")
+		return nil
+	})
+	if _, err := bob.SubmitForm(addForm, core.FormFields(addForm)); err != nil {
+		log.Fatal(err)
+	}
+	mustNavigate(bob, "http://"+sites.ShopHost+"/checkout")
+	mustPoll(alice)
+	fmt.Println("bob reached checkout; alice sees the shipping form")
+
+	// Alice co-fills the shipping form from her side.
+	err = alice.SubmitFormByID("shipping", []httpwire.FormField{
+		{Name: "name", Value: "Alice Cousin"},
+		{Name: "street", Value: "653 5th Ave"},
+		{Name: "city", Value: "New York"},
+		{Name: "zip", Value: "10022"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustPoll(alice)
+
+	// Bob's live form now carries Alice's data; he submits it.
+	var shipping *dom.Node
+	var fields []httpwire.FormField
+	_ = bob.WithDocument(func(_ string, doc *dom.Document) error {
+		shipping = doc.ByID("shipping")
+		fields = core.FormFields(shipping)
+		return nil
+	})
+	fmt.Printf("bob's form was co-filled: %v\n", fieldSummary(fields))
+	if _, err := bob.SubmitForm(shipping, fields); err != nil {
+		log.Fatal(err)
+	}
+	mustPoll(alice)
+
+	confirmed := "?"
+	_ = bob.WithDocument(func(_ string, doc *dom.Document) error {
+		if el := doc.ByID("confirm"); el != nil {
+			confirmed = el.TextContent()
+		}
+		return nil
+	})
+	fmt.Printf("order placed: %q — and alice's view shows the same confirmation\n", confirmed)
+
+	sid, _ := bob.Jar.Get("shop.example", "sid")
+	fmt.Printf("server-side record: shipping name = %q (session %s)\n",
+		corpus.Shop.ShippingField(sid, "name"), sid)
+}
+
+func mustNavigate(b *browser.Browser, url string) {
+	if _, err := b.Navigate(url); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustPoll(s *core.Snippet) {
+	if _, err := s.PollOnce(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fieldSummary(fields []httpwire.FormField) string {
+	var parts []string
+	for _, f := range fields {
+		if f.Value != "" {
+			parts = append(parts, f.Name+"="+f.Value)
+		}
+	}
+	return strings.Join(parts, ", ")
+}

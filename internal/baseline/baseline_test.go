@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"rcb/internal/browser"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+	"rcb/internal/sites"
+)
+
+func setup(t *testing.T) (*sites.Corpus, *browser.Browser, *browser.Browser) {
+	t.Helper()
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(corpus.Close)
+	host := browser.New("host.lan", corpus.Network.Dialer("host.lan"))
+	t.Cleanup(host.Close)
+	part := browser.New("alice.lan", corpus.Network.Dialer("alice.lan"))
+	t.Cleanup(part.Close)
+	return corpus, host, part
+}
+
+func TestURLShareWorksOnStaticPages(t *testing.T) {
+	_, host, part := setup(t)
+	spec := sites.Table1[1] // google.com: no sessions, static
+	if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
+		t.Fatal(err)
+	}
+	share := &URLShare{Host: host, Participant: part}
+	res := share.ShareCurrent()
+	if !res.Loaded || !res.SameContent {
+		t.Fatalf("static share failed: %+v (%s)", res, res.DescribeFailure())
+	}
+}
+
+func TestURLShareFailsOnDynamicPages(t *testing.T) {
+	// The Google-Maps failure mode: after an Ajax update the host's content
+	// differs from what the URL fetches (paper §1: "in many dynamically-
+	// updated webpages ... the retrieved contents will be different even
+	// with the same URL").
+	corpus, host, part := setup(t)
+	if _, err := host.Navigate("http://" + sites.MapsHost + "/"); err != nil {
+		t.Fatal(err)
+	}
+	ops := sites.MapsOps{Addr: sites.MapsHost, Client: host.Client}
+	err := host.ApplyMutation(func(doc *dom.Document) error {
+		return ops.Search(doc, "times square")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = corpus
+	share := &URLShare{Host: host, Participant: part}
+	res := share.ShareCurrent()
+	if !res.Loaded {
+		t.Fatalf("load failed: %v", res.Err)
+	}
+	if res.SameContent {
+		t.Fatal("dynamic page share should NOT produce identical content")
+	}
+	if !strings.Contains(res.DescribeFailure(), "different content") {
+		t.Errorf("diagnosis: %s", res.DescribeFailure())
+	}
+}
+
+func TestURLShareFailsOnSessionPages(t *testing.T) {
+	// The cart failure mode: the participant gets a different session, so
+	// the shared cart URL shows different (empty) content.
+	_, host, part := setup(t)
+	if _, err := host.Navigate("http://" + sites.ShopHost + "/"); err != nil {
+		t.Fatal(err)
+	}
+	var form *dom.Node
+	host.WithDocument(func(_ string, doc *dom.Document) error {
+		form = doc.ByID("search")
+		return nil
+	})
+	// Host adds an item via direct POST (simplest path to session state).
+	if _, err := host.Navigate("http://" + sites.ShopHost + "/product/1"); err != nil {
+		t.Fatal(err)
+	}
+	host.WithDocument(func(_ string, doc *dom.Document) error {
+		form = doc.ByID("addtocart")
+		return nil
+	})
+	if _, err := host.SubmitForm(form, []httpwire.FormField{{Name: "product", Value: "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Host is now on /cart with one item. Share it.
+	share := &URLShare{Host: host, Participant: part}
+	res := share.ShareCurrent()
+	if res.Err == nil && res.SameContent {
+		t.Fatal("session-protected cart must not share cleanly")
+	}
+	if share.SessionLeaked("shop.example", "sid") {
+		t.Fatal("URL sharing must not propagate sessions")
+	}
+}
+
+const proxyAddr = "proxy.example:8080"
+
+func startProxy(t *testing.T, corpus *sites.Corpus) *Proxy {
+	t.Helper()
+	p := NewProxy(corpus.Network.Dialer("proxy.example"))
+	t.Cleanup(p.Close)
+	l, err := corpus.Network.Listen(proxyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &httpwire.Server{Handler: p}
+	srv.Start(l)
+	t.Cleanup(srv.Close)
+	return p
+}
+
+func TestProxyForwardsAndSyncs(t *testing.T) {
+	corpus, _, _ := setup(t)
+	proxy := startProxy(t, corpus)
+
+	leader := NewProxyMember(corpus.Network.Dialer("leader.lan"), proxyAddr)
+	defer leader.Close()
+	follower := NewProxyMember(corpus.Network.Dialer("follower.lan"), proxyAddr)
+	defer follower.Close()
+
+	spec := sites.Table1[1]
+	resp, err := leader.Navigate("http://" + spec.Host() + "/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("leader nav: %v %d", err, resp.StatusCode)
+	}
+	if proxy.Seq() != 1 {
+		t.Fatalf("proxy seq = %d", proxy.Seq())
+	}
+	updated, err := follower.Poll()
+	if err != nil || !updated {
+		t.Fatalf("follower poll: %v %v", updated, err)
+	}
+	fPage, fURL := follower.Page()
+	lPage, _ := leader.Page()
+	if string(fPage) != string(lPage) {
+		t.Fatal("follower page differs from leader page")
+	}
+	if fURL != "http://"+spec.Host()+"/" {
+		t.Errorf("follower url = %q", fURL)
+	}
+	// No change → empty poll.
+	updated, err = follower.Poll()
+	if err != nil || updated {
+		t.Fatalf("idle poll: %v %v", updated, err)
+	}
+}
+
+func TestProxyRejectsRelativeTargets(t *testing.T) {
+	corpus, _, _ := setup(t)
+	startProxy(t, corpus)
+	c := httpwire.NewClient(corpus.Network.Dialer("x.lan"))
+	defer c.Close()
+	resp, err := c.Get(proxyAddr, "/not-absolute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestProxyUpstreamFailure(t *testing.T) {
+	corpus, _, _ := setup(t)
+	startProxy(t, corpus)
+	c := httpwire.NewClient(corpus.Network.Dialer("x.lan"))
+	defer c.Close()
+	req := httpwire.NewRequest("GET", "http://no.such.host/")
+	resp, err := c.Do(proxyAddr, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 502 {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestProxySeesAllTraffic(t *testing.T) {
+	// The privacy drawback: every request transits the proxy, including
+	// session-protected ones. (With RCB, participant traffic goes only to
+	// the host.)
+	corpus, _, _ := setup(t)
+	proxy := startProxy(t, corpus)
+	leader := NewProxyMember(corpus.Network.Dialer("leader.lan"), proxyAddr)
+	defer leader.Close()
+	if _, err := leader.Navigate("http://" + sites.ShopHost + "/"); err != nil {
+		t.Fatal(err)
+	}
+	page, _ := leader.Page()
+	if len(page) == 0 {
+		t.Fatal("no page via proxy")
+	}
+	if proxy.Seq() == 0 {
+		t.Fatal("proxy did not observe the leader's page")
+	}
+}

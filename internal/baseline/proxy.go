@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"rcb/internal/browser"
+	"rcb/internal/httpwire"
+)
+
+// Proxy is a dedicated co-browsing proxy of the kind the paper's related
+// work deploys between browsers and web servers (§2): every member's HTTP
+// requests flow through it; the proxy forwards them to origin servers,
+// remembers the leader's most recent HTML page, and serves that page to
+// followers who poll it. Compared with RCB it needs third-party
+// infrastructure, adds a forwarding hop to every byte, and sees all
+// traffic (the trust concern §2 raises).
+type Proxy struct {
+	// Client dials origin servers from the proxy's network location.
+	Client *httpwire.Client
+
+	mu      sync.Mutex
+	seq     int64
+	pageURL string
+	page    []byte
+}
+
+// NewProxy returns a proxy that reaches origins through dial.
+func NewProxy(dial httpwire.Dialer) *Proxy {
+	return &Proxy{Client: httpwire.NewClient(dial)}
+}
+
+// Close releases the proxy's origin connections.
+func (p *Proxy) Close() { p.Client.Close() }
+
+// ServeWire implements httpwire.Handler. Two request shapes are handled:
+//
+//   - absolute-form targets ("GET http://site/path HTTP/1.1"), the classic
+//     proxy protocol: forwarded to the origin; HTML responses from the
+//     leader update the shared page;
+//   - "/___page?seq=N": the follower polling endpoint, returning the
+//     leader's page when newer than N.
+func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
+	if req.Path() == "/___page" {
+		return p.servePagePoll(req)
+	}
+	return p.forward(req)
+}
+
+func (p *Proxy) servePagePoll(req *httpwire.Request) *httpwire.Response {
+	var since int64
+	for _, f := range httpwire.ParseForm(req.Query()) {
+		if f.Name == "seq" {
+			since, _ = strconv.ParseInt(f.Value, 10, 64)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.seq <= since || p.page == nil {
+		return httpwire.NewResponse(200, "text/html", nil)
+	}
+	resp := httpwire.NewResponse(200, "text/html; charset=utf-8", p.page)
+	resp.Header.Set("X-Proxy-Seq", strconv.FormatInt(p.seq, 10))
+	resp.Header.Set("X-Proxy-Url", p.pageURL)
+	return resp
+}
+
+func (p *Proxy) forward(req *httpwire.Request) *httpwire.Response {
+	if !browser.IsAbsolute(req.Target) {
+		return httpwire.NewResponse(400, "text/plain", []byte("proxy requires absolute-form request target\n"))
+	}
+	addr, err := browser.AddrOf(req.Target)
+	if err != nil {
+		return httpwire.NewResponse(400, "text/plain", []byte(err.Error()+"\n"))
+	}
+	fwd := httpwire.NewRequest(req.Method, browser.TargetOf(req.Target))
+	fwd.Header = req.Header.Clone()
+	fwd.Body = req.Body
+	resp, err := p.Client.Do(addr, fwd)
+	if err != nil {
+		return httpwire.NewResponse(502, "text/plain", []byte(fmt.Sprintf("proxy: upstream %s: %v\n", addr, err)))
+	}
+	if isHTML(resp) && req.Method == "GET" || req.Method == "POST" && isHTML(resp) {
+		p.mu.Lock()
+		p.seq++
+		p.pageURL = req.Target
+		p.page = resp.Body
+		p.mu.Unlock()
+	}
+	return resp
+}
+
+func isHTML(resp *httpwire.Response) bool {
+	ct := resp.Header.Get("Content-Type")
+	return resp.StatusCode == 200 && len(ct) >= 9 && ct[:9] == "text/html"
+}
+
+// Seq returns the current shared-page sequence number.
+func (p *Proxy) Seq() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// ProxyMember is a browser-side helper that navigates through the proxy
+// (absolute-form requests) and polls the shared page. It stands in for the
+// applet/snippet a proxy-based system injects into returned pages.
+type ProxyMember struct {
+	// Client dials the proxy.
+	Client *httpwire.Client
+	// ProxyAddr is the proxy's address on the network.
+	ProxyAddr string
+
+	mu   sync.Mutex
+	seq  int64
+	page []byte
+	url  string
+}
+
+// NewProxyMember returns a member reaching the proxy at proxyAddr.
+func NewProxyMember(dial httpwire.Dialer, proxyAddr string) *ProxyMember {
+	return &ProxyMember{Client: httpwire.NewClient(dial), ProxyAddr: proxyAddr}
+}
+
+// Close releases the member's proxy connections.
+func (m *ProxyMember) Close() { m.Client.Close() }
+
+// Navigate loads an absolute URL through the proxy (leader role).
+func (m *ProxyMember) Navigate(absURL string) (*httpwire.Response, error) {
+	req := httpwire.NewRequest("GET", absURL) // absolute-form through a proxy
+	resp, err := m.Client.Do(m.ProxyAddr, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == 200 {
+		m.mu.Lock()
+		m.page = resp.Body
+		m.url = absURL
+		m.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// Poll fetches the shared page when it changed since the last poll
+// (follower role). It reports whether new content arrived.
+func (m *ProxyMember) Poll() (bool, error) {
+	m.mu.Lock()
+	since := m.seq
+	m.mu.Unlock()
+	resp, err := m.Client.Get(m.ProxyAddr, fmt.Sprintf("/___page?seq=%d", since))
+	if err != nil {
+		return false, err
+	}
+	if len(resp.Body) == 0 {
+		return false, nil
+	}
+	seq, _ := strconv.ParseInt(resp.Header.Get("X-Proxy-Seq"), 10, 64)
+	m.mu.Lock()
+	m.seq = seq
+	m.page = resp.Body
+	m.url = resp.Header.Get("X-Proxy-Url")
+	m.mu.Unlock()
+	return true, nil
+}
+
+// Page returns the member's current page bytes and URL.
+func (m *ProxyMember) Page() ([]byte, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.page, m.url
+}

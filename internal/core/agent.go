@@ -1,0 +1,613 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rcb/internal/browser"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+	"rcb/internal/jsescape"
+)
+
+// Participant tracks one connected co-browsing participant.
+type Participant struct {
+	ID        string
+	CacheMode bool
+	// LastDocTime is the docTime the participant last acknowledged, carried
+	// back on each polling request (the timestamp protocol of §4.1.1).
+	LastDocTime int64
+	LastSeen    time.Time
+	Polls       int64
+	outbox      []Action // other users' actions awaiting delivery
+}
+
+// PendingAction is a participant action awaiting host confirmation under a
+// moderating policy.
+type PendingAction struct {
+	Seq           int64
+	ParticipantID string
+	Action        Action
+}
+
+// maxOutbox bounds per-participant queued mirror actions; pointer streams
+// are lossy by nature, so old entries are dropped first.
+const maxOutbox = 256
+
+// Agent is RCB-Agent: the HTTP service a co-browsing host runs inside its
+// browser. It implements httpwire.Handler; back it with any listener (real
+// TCP in cmd/rcb-host, the virtual network in tests and experiments).
+type Agent struct {
+	// Browser is the host browser whose document is shared.
+	Browser *browser.Browser
+	// Addr is the agent's own reachable address ("host.lan:3000"), used
+	// when rewriting cached-object URLs.
+	Addr string
+	// Policy gates participant actions. Defaults to OpenPolicy.
+	Policy Policy
+	// Auth, when non-nil, enforces HMAC request authentication (§3.4).
+	Auth *Authenticator
+	// DefaultCacheMode selects the mode for new participants. Mode can be
+	// changed per participant afterwards (SetParticipantMode).
+	DefaultCacheMode bool
+	// AutoSubmitForms, when set, immediately submits a form to the origin
+	// after merging a participant's formsubmit action. When unset the data
+	// is only merged into the host DOM (the host user submits manually, as
+	// Bob does in the shopping study).
+	AutoSubmitForms bool
+	// Logf, when non-nil, receives diagnostics.
+	Logf func(format string, args ...any)
+
+	mu           sync.Mutex
+	participants map[string]*Participant
+	nextPID      int
+	mapping      map[string]string // agent path "/obj/tN" → absolute URL
+	tokens       map[string]string // absolute URL → agent path
+	prepared     map[bool]*PreparedContent
+	pending      []PendingAction
+	actionSeq    int64
+	lastDocTime  int64
+}
+
+// PreparedContent caches one generated message per (document version,
+// cache mode): "the whole response content generation procedure is executed
+// only once for each new document content, and the generated XML format
+// response content is reusable for multiple participant browsers" (§4.1.2).
+type PreparedContent struct {
+	version int64
+	docTime int64
+	xml     []byte
+	genTime time.Duration
+}
+
+// XML returns the marshaled Figure 4 message.
+func (p *PreparedContent) XML() []byte { return p.xml }
+
+// DocTime returns the message timestamp.
+func (p *PreparedContent) DocTime() int64 { return p.docTime }
+
+// GenTime returns how long the Figure 3 pipeline took to produce this
+// content — the paper's M5 metric.
+func (p *PreparedContent) GenTime() time.Duration { return p.genTime }
+
+// NewAgent returns an agent for the given host browser, reachable at addr.
+func NewAgent(b *browser.Browser, addr string) *Agent {
+	return &Agent{
+		Browser:      b,
+		Addr:         addr,
+		Policy:       OpenPolicy(),
+		participants: make(map[string]*Participant),
+		mapping:      make(map[string]string),
+		tokens:       make(map[string]string),
+		prepared:     make(map[bool]*PreparedContent),
+	}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+// URL returns the agent's base URL, the address a participant types into
+// the browser address bar (paper step 2).
+func (a *Agent) URL() string { return "http://" + a.Addr }
+
+// ServeWire implements httpwire.Handler, classifying requests exactly as
+// Figure 2 does: a new connection request (GET with root URI), an object
+// request (GET with a resource URI, cache mode), or an Ajax polling request
+// (always POST, so action data can be piggybacked).
+func (a *Agent) ServeWire(req *httpwire.Request) *httpwire.Response {
+	switch {
+	case req.Method == "GET" && req.Path() == "/":
+		return a.serveInitialPage(req)
+	case req.Method == "POST" && req.Path() == "/poll":
+		if a.Auth != nil && !a.Auth.Verify(req.Method, req.Target, req.Body) {
+			return httpwire.NewResponse(401, "text/plain", []byte("bad hmac\n"))
+		}
+		return a.servePoll(req)
+	case req.Method == "GET":
+		if a.Auth != nil && !a.Auth.Verify(req.Method, req.Target, req.Body) {
+			return httpwire.NewResponse(401, "text/plain", []byte("bad hmac\n"))
+		}
+		return a.serveObject(req)
+	default:
+		return httpwire.NewResponse(405, "text/plain", []byte("method not allowed\n"))
+	}
+}
+
+// serveInitialPage answers a new connection request with the initial HTML
+// page whose head element contains Ajax-Snippet (paper §4.1.1). A
+// participant identity is issued as a cookie so subsequent polls and object
+// requests can be attributed.
+func (a *Agent) serveInitialPage(_ *httpwire.Request) *httpwire.Response {
+	a.mu.Lock()
+	a.nextPID++
+	pid := fmt.Sprintf("p%d", a.nextPID)
+	mode := a.DefaultCacheMode
+	a.participants[pid] = &Participant{ID: pid, CacheMode: mode, LastSeen: time.Now()}
+	a.mu.Unlock()
+	a.logf("rcb-agent: participant %s connected (cache mode %v)", pid, mode)
+
+	page := `<!DOCTYPE html><html><head><title>RCB Session</title>` +
+		`<script id="rcb-ajax-snippet">` + snippetScript + `</script>` +
+		`</head><body><div id="rcb-status">Connecting to co-browsing session...</div>` +
+		`<form id="rcb-key" onsubmit="return __rcb.setKey(this)">` +
+		`<input type="password" name="key" value=""><input type="submit" value="Join"></form>` +
+		`</body></html>`
+	resp := httpwire.NewResponse(200, "text/html; charset=utf-8", []byte(page))
+	resp.Header.Set("Set-Cookie", "rcbpid="+pid+"; Path=/")
+	return resp
+}
+
+// snippetScript is the JavaScript text embedded in the initial page. The
+// reproduction executes the equivalent logic in Go (see Snippet); the text
+// is included so the initial page is faithful and so head-cleanup keeps a
+// real script element to preserve.
+const snippetScript = `/* RCB Ajax-Snippet: poll agent, apply newContent, piggyback actions */`
+
+// serveObject answers a cache-mode object request by reading the host
+// browser's cache through the mapping table (paper §4.1.1: "RCB-Agent keeps
+// a mapping table, in which the request-URI of each cached object maps to a
+// corresponding cache key").
+func (a *Agent) serveObject(req *httpwire.Request) *httpwire.Response {
+	target := req.Path()
+	a.mu.Lock()
+	absURL, ok := a.mapping[target]
+	a.mu.Unlock()
+	if !ok {
+		return httpwire.NewResponse(404, "text/plain", []byte("unknown object\n"))
+	}
+	entry, ok := a.Browser.Cache.Get(absURL)
+	if !ok {
+		// Cache entry evicted after the URL was rewritten; the participant
+		// can still fall back to the origin in non-cache mode next sync.
+		return httpwire.NewResponse(404, "text/plain", []byte("object no longer cached\n"))
+	}
+	resp := httpwire.NewResponse(200, entry.ContentType, entry.Body)
+	resp.Header.Set("Cache-Control", "max-age=3600")
+	return resp
+}
+
+// servePoll handles an Ajax polling request through the three steps of
+// §4.1.1: data merging, timestamp inspection, response sending.
+func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
+	pid := pidFromRequest(req)
+	fields := httpwire.ParseForm(string(req.Body))
+	var ts int64
+	var actionPayload string
+	for _, f := range fields {
+		switch f.Name {
+		case "ts":
+			ts, _ = strconv.ParseInt(f.Value, 10, 64)
+		case "actions":
+			actionPayload = f.Value
+		case "pid":
+			if pid == "" {
+				pid = f.Value
+			}
+		}
+	}
+	p := a.participant(pid)
+	if p == nil {
+		return httpwire.NewResponse(403, "text/plain", []byte("unknown participant; reconnect\n"))
+	}
+
+	// Step 1: data merging.
+	actions, err := DecodeActions(actionPayload)
+	if err != nil {
+		return httpwire.NewResponse(400, "text/plain", []byte("bad action payload\n"))
+	}
+	for _, act := range actions {
+		act.From = p.ID
+		a.handleAction(p.ID, act)
+	}
+
+	// Step 2: timestamp inspection.
+	a.mu.Lock()
+	p.LastDocTime = ts
+	p.LastSeen = time.Now()
+	p.Polls++
+	mode := p.CacheMode
+	outbox := p.outbox
+	p.outbox = nil
+	a.mu.Unlock()
+
+	prep, err := a.contentForMode(mode)
+	if err != nil {
+		a.logf("rcb-agent: content generation: %v", err)
+		return httpwire.NewResponse(500, "text/plain", []byte("content generation failed\n"))
+	}
+
+	// Step 3: response sending.
+	if prep != nil && prep.docTime > ts {
+		msg := prep.xml
+		if len(outbox) > 0 {
+			// Re-render with the participant's pending mirror actions.
+			msg = withUserActions(prep.xml, outbox)
+		}
+		return httpwire.NewResponse(200, "application/xml", msg)
+	}
+	if len(outbox) > 0 {
+		nc := &NewContent{DocTime: ts, UserActions: outbox}
+		return httpwire.NewResponse(200, "application/xml", nc.Marshal())
+	}
+	// "If no new content needs to be sent back, RCB-Agent sends a response
+	// with empty content ... to avoid hanging requests."
+	return httpwire.NewResponse(200, "application/xml", nil)
+}
+
+// withUserActions splices a userActions element into an already marshaled
+// message, keeping the cached document payload shared across participants.
+func withUserActions(xml []byte, actions []Action) []byte {
+	s := string(xml)
+	insert := "<userActions><![CDATA[" + jsEscapeActions(actions) + "]]></userActions>\n"
+	if i := strings.LastIndex(s, "</newContent>"); i >= 0 {
+		return []byte(s[:i] + insert + s[i:])
+	}
+	return xml
+}
+
+func pidFromRequest(req *httpwire.Request) string {
+	for _, part := range strings.Split(req.Header.Get("Cookie"), ";") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if ok && k == "rcbpid" {
+			return v
+		}
+	}
+	return ""
+}
+
+func (a *Agent) participant(pid string) *Participant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.participants[pid]
+}
+
+// Participants lists connected participants — "RCB-Agent knows exactly
+// which participants are connected, and it can notify this information to a
+// co-browsing host or participant" (§3.3).
+func (a *Agent) Participants() []Participant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Participant, 0, len(a.participants))
+	for _, p := range a.participants {
+		cp := *p
+		cp.outbox = nil
+		out = append(out, cp)
+	}
+	return out
+}
+
+// SetParticipantMode switches one participant between cache and non-cache
+// mode ("RCB-Agent can allow different participant browsers to use
+// different modes", §4.1.2).
+func (a *Agent) SetParticipantMode(pid string, cacheMode bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.participants[pid]
+	if !ok {
+		return fmt.Errorf("rcb-agent: no participant %s", pid)
+	}
+	p.CacheMode = cacheMode
+	return nil
+}
+
+// Disconnect removes a participant (leave at any time, §3.3).
+func (a *Agent) Disconnect(pid string) {
+	a.mu.Lock()
+	delete(a.participants, pid)
+	a.mu.Unlock()
+}
+
+// contentForMode returns the prepared content for a mode, regenerating when
+// the host document changed. Returns nil when no page is loaded yet.
+func (a *Agent) contentForMode(cacheMode bool) (*PreparedContent, error) {
+	version := a.Browser.Version()
+	if version == 0 {
+		return nil, nil
+	}
+	a.mu.Lock()
+	if prep := a.prepared[cacheMode]; prep != nil && prep.version == version {
+		a.mu.Unlock()
+		return prep, nil
+	}
+	a.mu.Unlock()
+
+	prep, err := a.BuildContent(cacheMode)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	// Another goroutine may have built the same version concurrently; last
+	// writer wins, both are equivalent.
+	a.prepared[cacheMode] = prep
+	a.mu.Unlock()
+	return prep, nil
+}
+
+// BuildContent runs the full Figure 3 generation pipeline against the
+// host's live document and returns the prepared message. Exported so the
+// experiment harness can measure M5 (content generation time) directly.
+func (a *Agent) BuildContent(cacheMode bool) (*PreparedContent, error) {
+	version := a.Browser.Version()
+	start := time.Now()
+	var nc *NewContent
+	err := a.Browser.WithDocument(func(pageURL string, doc *dom.Document) error {
+		docTime := a.nextDocTime()
+		nc = generateContent(doc.Root, contentOptions{
+			pageURL:     pageURL,
+			docTime:     docTime,
+			cacheMode:   cacheMode,
+			resolveRef:  hostResolver(a.Browser, pageURL),
+			cacheHas:    a.Browser.Cache.Has,
+			agentURLFor: a.registerObject,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	xml := nc.Marshal()
+	return &PreparedContent{
+		version: version,
+		docTime: nc.DocTime,
+		xml:     xml,
+		genTime: time.Since(start),
+	}, nil
+}
+
+// nextDocTime issues the timestamp for a document version: wall-clock
+// milliseconds (as the paper specifies) made strictly monotonic so rapid
+// successive versions remain distinguishable.
+func (a *Agent) nextDocTime() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := time.Now().UnixMilli()
+	if t <= a.lastDocTime {
+		t = a.lastDocTime + 1
+	}
+	a.lastDocTime = t
+	return t
+}
+
+// registerObject maps an absolute URL into the agent's object namespace and
+// returns the full agent URL for it. When authentication is on, the URL is
+// pre-signed: object fetches are issued by the participant browser's
+// renderer, which cannot compute MACs itself.
+func (a *Agent) registerObject(absURL string) string {
+	a.mu.Lock()
+	path, ok := a.tokens[absURL]
+	if !ok {
+		path = fmt.Sprintf("/obj/t%d", len(a.tokens)+1)
+		a.tokens[absURL] = path
+		a.mapping[path] = absURL
+	}
+	a.mu.Unlock()
+	target := path
+	if a.Auth != nil {
+		target = a.Auth.Sign("GET", path, nil)
+	}
+	return a.URL() + target
+}
+
+// MappingLen reports the size of the object mapping table.
+func (a *Agent) MappingLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.mapping)
+}
+
+// handleAction routes one participant action through the policy.
+func (a *Agent) handleAction(pid string, act Action) {
+	a.mu.Lock()
+	a.actionSeq++
+	act.Seq = a.actionSeq
+	a.mu.Unlock()
+
+	switch a.Policy.Decide(pid, act) {
+	case Deny:
+		a.logf("rcb-agent: denied %s", act)
+	case Confirm:
+		a.mu.Lock()
+		a.pending = append(a.pending, PendingAction{Seq: act.Seq, ParticipantID: pid, Action: act})
+		a.mu.Unlock()
+		a.logf("rcb-agent: queued for confirmation: %s", act)
+	case Apply:
+		if err := a.ApplyAction(act); err != nil {
+			a.logf("rcb-agent: apply %s: %v", act, err)
+		}
+	}
+}
+
+// PendingConfirmations lists actions awaiting host approval.
+func (a *Agent) PendingConfirmations() []PendingAction {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]PendingAction(nil), a.pending...)
+}
+
+// Confirm resolves a queued action by sequence number: approved actions are
+// applied, rejected ones dropped.
+func (a *Agent) Confirm(seq int64, approve bool) error {
+	a.mu.Lock()
+	idx := -1
+	for i, pa := range a.pending {
+		if pa.Seq == seq {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		a.mu.Unlock()
+		return fmt.Errorf("rcb-agent: no pending action %d", seq)
+	}
+	pa := a.pending[idx]
+	a.pending = append(a.pending[:idx], a.pending[idx+1:]...)
+	a.mu.Unlock()
+	if !approve {
+		a.logf("rcb-agent: rejected %s", pa.Action)
+		return nil
+	}
+	return a.ApplyAction(pa.Action)
+}
+
+// ApplyAction performs an action on the host browser: clicks navigate or
+// submit, form data merges into the live DOM, pointer and scroll actions
+// mirror to the other users.
+func (a *Agent) ApplyAction(act Action) error {
+	switch act.Kind {
+	case ActionMouseMove, ActionScroll:
+		a.Broadcast(act)
+		return nil
+	case ActionFormInput:
+		return a.Browser.ApplyMutation(func(doc *dom.Document) error {
+			el := ResolvePath(doc.Root, act.Target)
+			if el == nil {
+				return fmt.Errorf("stale target %q", act.Target)
+			}
+			if el.Tag == "textarea" {
+				el.ReplaceChildren(dom.NewText(act.Value))
+			} else {
+				el.SetAttr("value", act.Value)
+			}
+			return nil
+		})
+	case ActionFormSubmit:
+		values := make(map[string]string, len(act.Fields))
+		for _, f := range act.Fields {
+			values[f.Name] = f.Value
+		}
+		var form *dom.Node
+		err := a.Browser.ApplyMutation(func(doc *dom.Document) error {
+			form = ResolvePath(doc.Root, act.Target)
+			if form == nil || form.Tag != "form" {
+				return fmt.Errorf("stale form target %q", act.Target)
+			}
+			if mergeFormData(form, values) == 0 {
+				a.logf("rcb-agent: formsubmit %s matched no fields", fmtPath(form))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if a.AutoSubmitForms {
+			_, err = a.Browser.SubmitForm(form, act.Fields)
+		}
+		return err
+	case ActionClick:
+		return a.applyClick(act)
+	default:
+		return fmt.Errorf("rcb-agent: unknown action kind %q", act.Kind)
+	}
+}
+
+// applyClick performs a participant's click on the host browser: links
+// navigate (the participant's "browsing requests ... first sent back to the
+// RCB-Agent on Bob's browser and then sent out" §5.2.2); submit buttons
+// submit their enclosing form with the values currently in the DOM.
+func (a *Agent) applyClick(act Action) error {
+	var href string
+	var form *dom.Node
+	err := a.Browser.WithDocument(func(pageURL string, doc *dom.Document) error {
+		el := ResolvePath(doc.Root, act.Target)
+		if el == nil {
+			return fmt.Errorf("stale click target %q", act.Target)
+		}
+		switch el.Tag {
+		case "a":
+			ref := el.AttrOr("href", "")
+			if ref == "" || ref == "#" {
+				return nil
+			}
+			abs, err := browser.Resolve(pageURL, ref)
+			if err != nil {
+				return err
+			}
+			href = abs
+		case "input", "button":
+			for cur := el; cur != nil; cur = cur.Parent {
+				if cur.Tag == "form" {
+					form = cur
+					break
+				}
+			}
+			if form == nil {
+				return fmt.Errorf("click target %q is not inside a form", act.Target)
+			}
+		default:
+			return fmt.Errorf("unsupported click target <%s>", el.Tag)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if href != "" {
+		_, err := a.Browser.Navigate(href)
+		return err
+	}
+	if form != nil {
+		vals := formValues(form)
+		fields := make([]httpwire.FormField, len(vals))
+		for i, v := range vals {
+			fields[i] = httpwire.FormField{Name: v.Name, Value: v.Value}
+		}
+		_, err := a.Browser.SubmitForm(form, fields)
+		return err
+	}
+	return nil
+}
+
+// Broadcast queues an action for delivery to every participant except its
+// originator — pointer mirroring (paper step 9).
+func (a *Agent) Broadcast(act Action) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, p := range a.participants {
+		if p.ID == act.From {
+			continue
+		}
+		p.outbox = append(p.outbox, act)
+		if len(p.outbox) > maxOutbox {
+			p.outbox = p.outbox[len(p.outbox)-maxOutbox:]
+		}
+	}
+}
+
+// HostAction reports a host-side interaction (pointer move, scroll) for
+// mirroring to all participants.
+func (a *Agent) HostAction(act Action) {
+	act.From = "host"
+	a.Broadcast(act)
+}
+
+// jsEscapeActions encodes mirror actions the way every Figure 4 payload is
+// encoded: JSON inside JavaScript escape().
+func jsEscapeActions(actions []Action) string {
+	return jsescape.Escape(EncodeActions(actions))
+}

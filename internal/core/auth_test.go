@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	a := NewAuthenticator("secret-key")
+	body := []byte("ts=42&actions=%5B%5D")
+	signed := a.Sign("POST", "/poll", body)
+	if !strings.Contains(signed, "?hmac=") {
+		t.Fatalf("signed target = %q", signed)
+	}
+	if !a.Verify("POST", signed, body) {
+		t.Fatal("verification of own signature failed")
+	}
+}
+
+func TestSignAppendsToExistingQuery(t *testing.T) {
+	a := NewAuthenticator("k")
+	signed := a.Sign("GET", "/obj/t3?v=1", nil)
+	if !strings.Contains(signed, "/obj/t3?v=1&hmac=") {
+		t.Fatalf("signed = %q", signed)
+	}
+	if !a.Verify("GET", signed, nil) {
+		t.Fatal("verify failed")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	a := NewAuthenticator("k")
+	body := []byte("ts=1")
+	signed := a.Sign("POST", "/poll", body)
+
+	if a.Verify("POST", signed, []byte("ts=2")) {
+		t.Error("tampered body accepted")
+	}
+	if a.Verify("GET", signed, body) {
+		t.Error("tampered method accepted")
+	}
+	tampered := strings.Replace(signed, "/poll", "/pall", 1)
+	if a.Verify("POST", tampered, body) {
+		t.Error("tampered target accepted")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	signer := NewAuthenticator("alice-key")
+	verifier := NewAuthenticator("mallory-key")
+	signed := signer.Sign("POST", "/poll", nil)
+	if verifier.Verify("POST", signed, nil) {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestVerifyRejectsMissingMAC(t *testing.T) {
+	a := NewAuthenticator("k")
+	if a.Verify("POST", "/poll", nil) {
+		t.Error("unsigned target accepted")
+	}
+	if a.Verify("POST", "/poll?x=1", nil) {
+		t.Error("unsigned target with query accepted")
+	}
+	if a.Verify("POST", "/poll?hmac=deadbeef", nil) {
+		t.Error("bogus mac accepted")
+	}
+}
+
+func TestSessionKeysAreFreshAndWellFormed(t *testing.T) {
+	k1, k2 := NewSessionKey(), NewSessionKey()
+	if k1 == k2 {
+		t.Fatal("two session keys are identical")
+	}
+	if len(k1) != 32 {
+		t.Fatalf("key length %d, want 32 hex chars", len(k1))
+	}
+	for _, c := range k1 {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("non-hex char %q in key", c)
+		}
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	a := NewAuthenticator(NewSessionKey())
+	f := func(pathSuffix string, body []byte) bool {
+		target := "/poll" + sanitize(pathSuffix)
+		signed := a.Sign("POST", target, body)
+		return a.Verify("POST", signed, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFlipBitProperty(t *testing.T) {
+	a := NewAuthenticator(NewSessionKey())
+	f := func(body []byte, flip uint8) bool {
+		if len(body) == 0 {
+			return true
+		}
+		signed := a.Sign("POST", "/poll", body)
+		mutated := append([]byte(nil), body...)
+		mutated[int(flip)%len(mutated)] ^= 0x01
+		return !a.Verify("POST", signed, mutated)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, c := range []byte(s) {
+		if c > ' ' && c < 127 && c != '?' && c != '&' {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

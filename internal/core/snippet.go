@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rcb/internal/browser"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+)
+
+// SnippetStats counts a snippet's protocol activity.
+type SnippetStats struct {
+	Polls            int64
+	EmptyPolls       int64
+	ContentPolls     int64
+	ActionsSent      int64
+	LastApplyTime    time.Duration // duration of the last Figure 5 application (the paper's M6)
+	ObjectFetches    int64
+	ObjectsFromAgent int64
+}
+
+// Snippet is the participant-side Ajax-Snippet: the polling loop and
+// content application procedure a participant browser's JavaScript runs
+// (paper §4.2), reproduced as a Go state machine driving a participant
+// browser model. One Snippet serves one participant.
+type Snippet struct {
+	// Browser is the participant browser model.
+	Browser *browser.Browser
+	// AgentURL is the RCB-Agent address typed into the address bar,
+	// e.g. "http://host.lan:3000".
+	AgentURL string
+	// Key is the out-of-band session secret; empty disables HMAC signing.
+	Key string
+	// PollInterval is the delay between polls when Run drives the loop.
+	// The paper's experiments use one second.
+	PollInterval time.Duration
+	// FetchObjects controls whether supplementary objects are downloaded
+	// after a content update (on by default; the experiment harness turns
+	// it off when it wants to time M6 in isolation).
+	FetchObjects bool
+	// OnUserAction, when non-nil, receives mirrored actions of other users
+	// (pointer moves, etc.).
+	OnUserAction func(Action)
+
+	auth *Authenticator
+
+	mu          sync.Mutex
+	docTime     int64
+	queue       []Action
+	stats       SnippetStats
+	lastObjects []browser.ObjectFetch
+}
+
+// NewSnippet returns a snippet for a participant browser joining agentURL.
+func NewSnippet(b *browser.Browser, agentURL, key string) *Snippet {
+	s := &Snippet{
+		Browser:      b,
+		AgentURL:     agentURL,
+		Key:          key,
+		PollInterval: time.Second,
+		FetchObjects: true,
+	}
+	if key != "" {
+		s.auth = NewAuthenticator(key)
+	}
+	// The snippet performs the Figure 5 render pass itself; the browser's
+	// renderer must not race it with its own mutation-triggered fetches.
+	b.FetchOnMutate = false
+	return s
+}
+
+// Stats returns a copy of the protocol counters.
+func (s *Snippet) Stats() SnippetStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// DocTime returns the last document timestamp acknowledged.
+func (s *Snippet) DocTime() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.docTime
+}
+
+// LastObjectFetches reports the supplementary-object downloads of the most
+// recent content application (experiment harness hook for M3/M4).
+func (s *Snippet) LastObjectFetches() []browser.ObjectFetch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]browser.ObjectFetch(nil), s.lastObjects...)
+}
+
+// Join performs the new connection request (paper step 2): the participant
+// types the agent URL into the address bar, receives the initial page
+// containing Ajax-Snippet, and the channel is established.
+func (s *Snippet) Join() error {
+	stats, err := s.Browser.Navigate(s.AgentURL + "/")
+	if err != nil {
+		return fmt.Errorf("rcb-snippet: join %s: %w", s.AgentURL, err)
+	}
+	_ = stats
+	var hasSnippet bool
+	err = s.Browser.WithDocument(func(_ string, doc *dom.Document) error {
+		hasSnippet = doc.ByID("rcb-ajax-snippet") != nil
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !hasSnippet {
+		return fmt.Errorf("rcb-snippet: initial page from %s has no Ajax-Snippet", s.AgentURL)
+	}
+	return nil
+}
+
+// QueueAction buffers an action for piggybacking on the next polling
+// request (paper §4.2.1: the POST method is used "so that action
+// information of a co-browsing participant can be directly piggybacked").
+func (s *Snippet) QueueAction(act Action) {
+	s.mu.Lock()
+	s.queue = append(s.queue, act)
+	s.mu.Unlock()
+}
+
+// ClickElement queues a click action for the element with the given
+// data-rcb path in the participant's current document — what the rewritten
+// onclick handler does in a real browser.
+func (s *Snippet) ClickElement(domID string) error {
+	path, err := s.rcbPathOf(domID, "")
+	if err != nil {
+		return err
+	}
+	s.QueueAction(Action{Kind: ActionClick, Target: path})
+	return nil
+}
+
+// SubmitFormByID queues a formsubmit action carrying the given fields for
+// the form with the given DOM id — what the rewritten onsubmit handler does.
+func (s *Snippet) SubmitFormByID(domID string, fields []httpwire.FormField) error {
+	path, err := s.rcbPathOf(domID, "form")
+	if err != nil {
+		return err
+	}
+	s.QueueAction(Action{Kind: ActionFormSubmit, Target: path, Fields: fields})
+	return nil
+}
+
+// InputField queues a forminput action for the field with the given DOM id.
+func (s *Snippet) InputField(domID, value string) error {
+	path, err := s.rcbPathOf(domID, "")
+	if err != nil {
+		return err
+	}
+	s.QueueAction(Action{Kind: ActionFormInput, Target: path, Value: value})
+	return nil
+}
+
+// PointerMove queues a pointer-mirroring action.
+func (s *Snippet) PointerMove(x, y int) {
+	s.QueueAction(Action{Kind: ActionMouseMove, X: x, Y: y})
+}
+
+// rcbPathOf finds an element by DOM id and returns its data-rcb path.
+func (s *Snippet) rcbPathOf(domID, wantTag string) (string, error) {
+	var path string
+	err := s.Browser.WithDocument(func(_ string, doc *dom.Document) error {
+		el := doc.ByID(domID)
+		if el == nil {
+			return fmt.Errorf("rcb-snippet: no element with id %q", domID)
+		}
+		if wantTag != "" && el.Tag != wantTag {
+			return fmt.Errorf("rcb-snippet: element %q is <%s>, want <%s>", domID, el.Tag, wantTag)
+		}
+		path = el.AttrOr(RCBAttr, "")
+		if path == "" {
+			return fmt.Errorf("rcb-snippet: element %q has no %s attribute (not rewritten?)", domID, RCBAttr)
+		}
+		return nil
+	})
+	return path, err
+}
+
+// PollOnce sends one Ajax polling request and processes the response per
+// Figure 5. It reports whether new document content was applied.
+func (s *Snippet) PollOnce() (updated bool, err error) {
+	s.mu.Lock()
+	ts := s.docTime
+	actions := s.queue
+	s.queue = nil
+	s.stats.Polls++
+	s.stats.ActionsSent += int64(len(actions))
+	s.mu.Unlock()
+
+	fields := []httpwire.FormField{{Name: "ts", Value: fmt.Sprint(ts)}}
+	if len(actions) > 0 {
+		fields = append(fields, httpwire.FormField{Name: "actions", Value: EncodeActions(actions)})
+	}
+	body := []byte(httpwire.EncodeForm(fields))
+	target := "/poll"
+	if s.auth != nil {
+		target = s.auth.Sign("POST", target, body)
+	}
+	addr, err := browser.AddrOf(s.AgentURL + "/")
+	if err != nil {
+		return false, err
+	}
+	req := httpwire.NewRequest("POST", target)
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	if c := s.Browser.Jar.Header(browser.HostOf(s.AgentURL + "/")); c != "" {
+		req.Header.Set("Cookie", c)
+	}
+	req.Body = body
+	resp, err := s.Browser.Client.Do(addr, req)
+	if err != nil {
+		// Failed polls requeue their actions so interaction is not lost on
+		// a transient drop.
+		s.mu.Lock()
+		s.queue = append(actions, s.queue...)
+		s.mu.Unlock()
+		return false, fmt.Errorf("rcb-snippet: poll: %w", err)
+	}
+	if resp.StatusCode != 200 {
+		return false, fmt.Errorf("rcb-snippet: poll returned %d", resp.StatusCode)
+	}
+	// "If RCB-Agent indicates no new content with an empty response
+	// content, Ajax-Snippet simply ... send[s] a new polling request after a
+	// specified time interval."
+	if len(resp.Body) == 0 {
+		s.mu.Lock()
+		s.stats.EmptyPolls++
+		s.mu.Unlock()
+		return false, nil
+	}
+	content, err := Unmarshal(resp.Body)
+	if err != nil {
+		return false, fmt.Errorf("rcb-snippet: bad response content: %w", err)
+	}
+	for _, act := range content.UserActions {
+		if s.OnUserAction != nil {
+			s.OnUserAction(act)
+		}
+	}
+	if !content.HasDocument {
+		return false, nil
+	}
+	if err := s.ApplyContent(content); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	s.docTime = content.DocTime
+	s.stats.ContentPolls++
+	s.mu.Unlock()
+	return true, nil
+}
+
+// ApplyContent installs new document content into the participant browser,
+// following the four-step procedure of Figure 5:
+//
+//  1. clean up the head element, keeping only Ajax-Snippet itself;
+//  2. set the head element children from the new content;
+//  3. clean up top-level elements the new content obsoletes;
+//  4. set the remaining top-level elements from the new content.
+//
+// Afterwards the participant browser downloads the supplementary objects
+// referenced by the new content (unless FetchObjects is off).
+func (s *Snippet) ApplyContent(content *NewContent) error {
+	start := time.Now()
+	err := s.Browser.ApplyMutation(func(doc *dom.Document) error {
+		return ApplyContentToDocument(doc, content)
+	})
+	apply := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("rcb-snippet: apply content: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.LastApplyTime = apply
+	s.mu.Unlock()
+
+	if s.FetchObjects {
+		var fetches []browser.ObjectFetch
+		err = s.Browser.WithDocument(func(pageURL string, doc *dom.Document) error {
+			fetches = s.Browser.RenderObjects(doc, pageURL)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.lastObjects = fetches
+		s.stats.ObjectFetches += int64(len(fetches))
+		for _, f := range fetches {
+			if hostOf(f.URL) == hostOf(s.AgentURL) {
+				s.stats.ObjectsFromAgent++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+func hostOf(u string) string { return browser.HostOf(u) }
+
+// ApplyContentToDocument is the pure DOM transformation of Figure 5,
+// exported for direct testing and for the experiment harness's M6
+// measurement.
+func ApplyContentToDocument(doc *dom.Document, content *NewContent) error {
+	root := doc.Root
+	head := doc.Head()
+
+	// Step 1: clean up the head, keeping Ajax-Snippet. The snippet "always
+	// keeps itself as a <script> child element within the head element of
+	// any current document".
+	var snippetEl *dom.Node
+	for _, c := range head.ChildElements() {
+		if c.Tag == "script" && c.AttrOr("id", "") == "rcb-ajax-snippet" {
+			snippetEl = c
+			break
+		}
+	}
+	head.RemoveAllChildren()
+	if snippetEl != nil {
+		head.AppendChild(snippetEl)
+	}
+
+	// Step 2: append the new head children.
+	for _, hc := range content.Head {
+		el := dom.NewElement(hc.Tag)
+		el.Attrs = append([]dom.Attr(nil), hc.Attrs...)
+		if hc.Inner != "" {
+			dom.SetInnerHTML(el, hc.Inner)
+		}
+		head.AppendChild(el)
+	}
+
+	// Step 3: clean up obsolete top-level elements. "If the current
+	// document uses a body top-level element while the new content contains
+	// a new webpage with a frameset top-level element, Ajax-Snippet will
+	// remove the body node."
+	for _, c := range root.ChildElements() {
+		switch c.Tag {
+		case "head":
+			continue
+		case "body":
+			if content.Body == nil {
+				root.RemoveChild(c)
+			}
+		case "frameset":
+			if content.FrameSet == nil {
+				root.RemoveChild(c)
+			}
+		case "noframes":
+			if content.NoFrames == nil {
+				root.RemoveChild(c)
+			}
+		default:
+			root.RemoveChild(c)
+		}
+	}
+
+	// Step 4: set the remaining top elements in content order.
+	setTop := func(tag string, te *TopElement) {
+		if te == nil {
+			return
+		}
+		el := root.FirstChildElement(tag)
+		if el == nil {
+			el = dom.NewElement(tag)
+			root.AppendChild(el)
+		}
+		el.Attrs = append([]dom.Attr(nil), te.Attrs...)
+		dom.SetInnerHTML(el, te.Inner)
+	}
+	setTop("body", content.Body)
+	setTop("frameset", content.FrameSet)
+	setTop("noframes", content.NoFrames)
+	return nil
+}
+
+// Run drives the polling loop until stop is closed, sleeping PollInterval
+// between polls (paper: "The first Ajax request is sent after the initial
+// HTML page is loaded ... each following Ajax request is triggered after
+// the response to the previous one is received"). Errors are delivered to
+// errf when non-nil and the loop continues — a dropped poll must not end
+// the session.
+func (s *Snippet) Run(stop <-chan struct{}, errf func(error)) {
+	interval := s.PollInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	timer := time.NewTimer(0) // first poll fires immediately after page load
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		}
+		if _, err := s.PollOnce(); err != nil && errf != nil {
+			errf(err)
+		}
+		timer.Reset(interval)
+	}
+}

@@ -1,0 +1,599 @@
+package dom
+
+import (
+	"strings"
+)
+
+// voidElements are HTML elements that never have children or end tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements hold raw character data up to their literal close tag.
+var rawTextElements = map[string]bool{
+	"script": true, "style": true, "textarea": true, "title": true,
+	"noscript": true, "xmp": true,
+}
+
+// impliedEndByOpen maps an element tag to the set of open tags it implicitly
+// closes when encountered. This captures the common tag-omission patterns on
+// real homepages (li, p, td, tr, option ...) without a full HTML5 tree
+// builder.
+var impliedEndByOpen = map[string]map[string]bool{
+	"li":     {"li": true},
+	"p":      {"p": true},
+	"tr":     {"tr": true, "td": true, "th": true},
+	"td":     {"td": true, "th": true},
+	"th":     {"td": true, "th": true},
+	"option": {"option": true},
+	"dt":     {"dt": true, "dd": true},
+	"dd":     {"dt": true, "dd": true},
+	"thead":  {"tr": true, "td": true, "th": true},
+	"tbody":  {"tr": true, "td": true, "th": true, "thead": true},
+	"tfoot":  {"tr": true, "td": true, "th": true, "tbody": true},
+}
+
+// IsVoid reports whether tag is an HTML void element (no end tag).
+func IsVoid(tag string) bool { return voidElements[strings.ToLower(tag)] }
+
+// IsRawText reports whether tag holds raw text content (script, style, ...).
+func IsRawText(tag string) bool { return rawTextElements[strings.ToLower(tag)] }
+
+// tokenKind enumerates tokenizer outputs.
+type tokenKind int
+
+const (
+	tokText tokenKind = iota
+	tokStartTag
+	tokEndTag
+	tokComment
+	tokDoctype
+)
+
+type token struct {
+	kind        tokenKind
+	data        string // tag name (lowercased), text payload, comment, doctype
+	attrs       []Attr
+	selfClosing bool
+}
+
+// tokenizer scans HTML source into a stream of tokens.
+type tokenizer struct {
+	src string
+	pos int
+}
+
+func (z *tokenizer) eof() bool { return z.pos >= len(z.src) }
+
+// next returns the next token, or ok=false at end of input.
+func (z *tokenizer) next() (token, bool) {
+	if z.eof() {
+		return token{}, false
+	}
+	if z.src[z.pos] != '<' {
+		// Text run up to the next '<' or EOF.
+		end := strings.IndexByte(z.src[z.pos:], '<')
+		if end < 0 {
+			t := token{kind: tokText, data: z.src[z.pos:]}
+			z.pos = len(z.src)
+			return t, true
+		}
+		t := token{kind: tokText, data: z.src[z.pos : z.pos+end]}
+		z.pos += end
+		return t, true
+	}
+	// A '<' that does not begin a plausible markup construct is literal text.
+	rest := z.src[z.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		return z.scanComment()
+	case strings.HasPrefix(rest, "<!"):
+		return z.scanDeclaration()
+	case strings.HasPrefix(rest, "</"):
+		return z.scanEndTag()
+	case len(rest) > 1 && isTagNameStart(rest[1]):
+		return z.scanStartTag()
+	default:
+		// Lone '<': treat as text, consume one byte.
+		z.pos++
+		return token{kind: tokText, data: "<"}, true
+	}
+}
+
+func isTagNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isTagNameByte(c byte) bool {
+	return isTagNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func (z *tokenizer) scanComment() (token, bool) {
+	start := z.pos + 4 // past "<!--"
+	end := strings.Index(z.src[start:], "-->")
+	if end < 0 {
+		t := token{kind: tokComment, data: z.src[start:]}
+		z.pos = len(z.src)
+		return t, true
+	}
+	t := token{kind: tokComment, data: z.src[start : start+end]}
+	z.pos = start + end + 3
+	return t, true
+}
+
+func (z *tokenizer) scanDeclaration() (token, bool) {
+	start := z.pos + 2 // past "<!"
+	end := strings.IndexByte(z.src[start:], '>')
+	if end < 0 {
+		t := token{kind: tokDoctype, data: z.src[start:]}
+		z.pos = len(z.src)
+		return t, true
+	}
+	t := token{kind: tokDoctype, data: z.src[start : start+end]}
+	z.pos = start + end + 1
+	return t, true
+}
+
+func (z *tokenizer) scanEndTag() (token, bool) {
+	i := z.pos + 2 // past "</"
+	nameStart := i
+	for i < len(z.src) && isTagNameByte(z.src[i]) {
+		i++
+	}
+	name := strings.ToLower(z.src[nameStart:i])
+	// Skip to '>'.
+	for i < len(z.src) && z.src[i] != '>' {
+		i++
+	}
+	if i < len(z.src) {
+		i++ // consume '>'
+	}
+	z.pos = i
+	if name == "" {
+		// "</>" or "</ >": ignored per HTML spec; emit empty comment.
+		return token{kind: tokComment, data: ""}, true
+	}
+	return token{kind: tokEndTag, data: name}, true
+}
+
+func (z *tokenizer) scanStartTag() (token, bool) {
+	i := z.pos + 1 // past '<'
+	nameStart := i
+	for i < len(z.src) && isTagNameByte(z.src[i]) {
+		i++
+	}
+	t := token{kind: tokStartTag, data: strings.ToLower(z.src[nameStart:i])}
+	// Attributes.
+	for i < len(z.src) {
+		for i < len(z.src) && isSpace(z.src[i]) {
+			i++
+		}
+		if i >= len(z.src) {
+			break
+		}
+		if z.src[i] == '>' {
+			i++
+			z.pos = i
+			return t, true
+		}
+		if z.src[i] == '/' {
+			// Possible self-closing marker.
+			j := i + 1
+			for j < len(z.src) && isSpace(z.src[j]) {
+				j++
+			}
+			if j < len(z.src) && z.src[j] == '>' {
+				t.selfClosing = true
+				z.pos = j + 1
+				return t, true
+			}
+			i++ // stray '/', skip
+			continue
+		}
+		// Attribute name.
+		aStart := i
+		for i < len(z.src) && !isSpace(z.src[i]) && z.src[i] != '=' && z.src[i] != '>' && z.src[i] != '/' {
+			i++
+		}
+		name := strings.ToLower(z.src[aStart:i])
+		for i < len(z.src) && isSpace(z.src[i]) {
+			i++
+		}
+		var value string
+		if i < len(z.src) && z.src[i] == '=' {
+			i++
+			for i < len(z.src) && isSpace(z.src[i]) {
+				i++
+			}
+			if i < len(z.src) && (z.src[i] == '"' || z.src[i] == '\'') {
+				quote := z.src[i]
+				i++
+				vStart := i
+				for i < len(z.src) && z.src[i] != quote {
+					i++
+				}
+				value = z.src[vStart:i]
+				if i < len(z.src) {
+					i++ // closing quote
+				}
+			} else {
+				vStart := i
+				for i < len(z.src) && !isSpace(z.src[i]) && z.src[i] != '>' {
+					i++
+				}
+				value = z.src[vStart:i]
+			}
+			value = DecodeEntities(value)
+		}
+		if name != "" {
+			t.attrs = append(t.attrs, Attr{Name: name, Value: value})
+		}
+	}
+	z.pos = i
+	return t, true
+}
+
+// scanRawText consumes text up to (not including) the close tag for the raw
+// text element named tag, positioning the tokenizer after the close tag. The
+// close-tag match is case-insensitive. If no close tag exists the rest of the
+// input is consumed.
+func (z *tokenizer) scanRawText(tag string) string {
+	lowSrc := strings.ToLower(z.src[z.pos:])
+	marker := "</" + tag
+	idx := 0
+	for {
+		rel := strings.Index(lowSrc[idx:], marker)
+		if rel < 0 {
+			text := z.src[z.pos:]
+			z.pos = len(z.src)
+			return text
+		}
+		at := idx + rel
+		after := at + len(marker)
+		// Must be followed by space, '/', or '>' to count as a close tag.
+		if after >= len(lowSrc) || lowSrc[after] == '>' || isSpace(lowSrc[after]) || lowSrc[after] == '/' {
+			text := z.src[z.pos : z.pos+at]
+			// Advance past "</tag ... >".
+			end := strings.IndexByte(z.src[z.pos+at:], '>')
+			if end < 0 {
+				z.pos = len(z.src)
+			} else {
+				z.pos += at + end + 1
+			}
+			return text
+		}
+		idx = after
+	}
+}
+
+// Parse parses HTML source into a Document. The tree builder is tolerant:
+// unmatched end tags are dropped, unclosed elements are closed at EOF, and a
+// well-formed <html>/<head>/<body> (or frameset) skeleton is guaranteed on
+// the result, mirroring what a browser's live DOM presents to RCB-Agent.
+func Parse(src string) *Document {
+	doc := &Document{}
+	var root *Node
+	// stack of open elements; stack[0] is the root once established.
+	var stack []*Node
+
+	appendNode := func(n *Node) {
+		if len(stack) > 0 {
+			stack[len(stack)-1].AppendChild(n)
+			return
+		}
+		// Content before/outside <html>: defer until skeleton fixup.
+		if root == nil {
+			root = NewElement("html")
+			stack = append(stack, root)
+		}
+		root.AppendChild(n)
+	}
+
+	z := &tokenizer{src: src}
+	for {
+		t, ok := z.next()
+		if !ok {
+			break
+		}
+		switch t.kind {
+		case tokDoctype:
+			if doc.Doctype == "" && root == nil {
+				doc.Doctype = t.data
+			}
+			// Doctypes after content are ignored.
+		case tokComment:
+			appendNode(NewComment(t.data))
+		case tokText:
+			if len(stack) == 0 && strings.TrimSpace(t.data) == "" {
+				continue // whitespace before <html>
+			}
+			appendNode(NewText(t.data))
+		case tokStartTag:
+			if t.data == "html" {
+				if root == nil {
+					root = NewElement("html")
+					root.Attrs = t.attrs
+					stack = append(stack, root)
+				} else if len(root.Attrs) == 0 {
+					root.Attrs = t.attrs
+				}
+				continue
+			}
+			if root == nil {
+				root = NewElement("html")
+				stack = append(stack, root)
+			}
+			// Implied end tags (e.g. <li> closes an open <li>).
+			if closes, ok := impliedEndByOpen[t.data]; ok {
+				for len(stack) > 1 && closes[stack[len(stack)-1].Tag] {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			el := NewElement(t.data)
+			el.Attrs = t.attrs
+			stack[len(stack)-1].AppendChild(el)
+			if t.selfClosing || voidElements[t.data] {
+				continue
+			}
+			if rawTextElements[t.data] {
+				raw := z.scanRawText(t.data)
+				if raw != "" {
+					el.AppendChild(NewText(raw))
+				}
+				continue
+			}
+			stack = append(stack, el)
+		case tokEndTag:
+			if t.data == "html" {
+				stack = stack[:1] // close everything back to the root
+				continue
+			}
+			// Find the nearest matching open element.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == t.data {
+					stack = stack[:i]
+					break
+				}
+			}
+			// No match: end tag is ignored.
+		}
+	}
+	if root == nil {
+		root = NewElement("html")
+	}
+	doc.Root = root
+	fixSkeleton(doc)
+	return doc
+}
+
+// fixSkeleton guarantees the root has a head followed by a body (or
+// frameset), relocating stray top-level content into the appropriate section
+// the way browsers normalize documents.
+func fixSkeleton(doc *Document) {
+	root := doc.Root
+	head := root.FirstChildElement("head")
+	body := root.FirstChildElement("body")
+	frameset := root.FirstChildElement("frameset")
+	if head == nil {
+		head = NewElement("head")
+	}
+	if body == nil && frameset == nil {
+		body = NewElement("body")
+	}
+
+	// Partition existing top-level children.
+	headish := map[string]bool{
+		"title": true, "meta": true, "link": true, "base": true,
+		"style": true,
+	}
+	old := root.Children
+	root.Children = nil
+	for _, c := range old {
+		c.Parent = nil
+	}
+	var bodyContent []*Node
+	var noframes []*Node
+	for _, c := range old {
+		switch {
+		case c == head || c == body || c == frameset:
+			// re-attached below
+		case c.Type == ElementNode && c.Tag == "noframes":
+			noframes = append(noframes, c)
+		case c.Type == ElementNode && headish[c.Tag]:
+			head.AppendChild(c)
+		case c.Type == TextNode && strings.TrimSpace(c.Data) == "":
+			// Inter-section whitespace: drop to keep skeleton canonical.
+		default:
+			bodyContent = append(bodyContent, c)
+		}
+	}
+	root.AppendChild(head)
+	if frameset != nil {
+		root.AppendChild(frameset)
+		for _, nf := range noframes {
+			root.AppendChild(nf)
+		}
+		// Content that can't live beside a frameset is dropped, as browsers do.
+		return
+	}
+	root.AppendChild(body)
+	for _, c := range bodyContent {
+		body.AppendChild(c)
+	}
+	for _, nf := range noframes {
+		body.AppendChild(nf)
+	}
+}
+
+// ParseFragment parses src as markup in the context of an element with the
+// given tag (as innerHTML assignment does) and returns the resulting sibling
+// nodes. No html/head/body skeleton is implied. The context tag matters for
+// raw-text containers: ParseFragment("x<b>", "script") yields a single text
+// node.
+func ParseFragment(src, contextTag string) []*Node {
+	contextTag = strings.ToLower(contextTag)
+	if rawTextElements[contextTag] {
+		if src == "" {
+			return nil
+		}
+		return []*Node{NewText(src)}
+	}
+	container := NewElement("div")
+	stack := []*Node{container}
+	z := &tokenizer{src: src}
+	for {
+		t, ok := z.next()
+		if !ok {
+			break
+		}
+		switch t.kind {
+		case tokDoctype:
+			// Doctype inside a fragment is ignored.
+		case tokComment:
+			stack[len(stack)-1].AppendChild(NewComment(t.data))
+		case tokText:
+			stack[len(stack)-1].AppendChild(NewText(t.data))
+		case tokStartTag:
+			if closes, ok := impliedEndByOpen[t.data]; ok {
+				for len(stack) > 1 && closes[stack[len(stack)-1].Tag] {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			el := NewElement(t.data)
+			el.Attrs = t.attrs
+			stack[len(stack)-1].AppendChild(el)
+			if t.selfClosing || voidElements[t.data] {
+				continue
+			}
+			if rawTextElements[t.data] {
+				raw := z.scanRawText(t.data)
+				if raw != "" {
+					el.AppendChild(NewText(raw))
+				}
+				continue
+			}
+			stack = append(stack, el)
+		case tokEndTag:
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == t.data {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	out := container.Children
+	for _, c := range out {
+		c.Parent = nil
+	}
+	container.Children = nil
+	return out
+}
+
+// SetInnerHTML replaces n's children with the parse of src in n's own
+// context, the DOM operation Ajax-Snippet uses to apply received content
+// (paper §4.2.2: "the innerHTML property of the head element is writable in
+// Firefox").
+func SetInnerHTML(n *Node, src string) {
+	nodes := ParseFragment(src, n.Tag)
+	n.ReplaceChildren(nodes...)
+}
+
+// DecodeEntities decodes the five XML/HTML core entities plus numeric
+// character references. Unknown entities are preserved verbatim, which is
+// what browsers do for bare ampersands on real pages.
+func DecodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		ent := s[i+1 : i+semi]
+		switch ent {
+		case "amp":
+			b.WriteByte('&')
+		case "lt":
+			b.WriteByte('<')
+		case "gt":
+			b.WriteByte('>')
+		case "quot":
+			b.WriteByte('"')
+		case "apos":
+			b.WriteByte('\'')
+		case "nbsp":
+			b.WriteRune(' ')
+		default:
+			if r, ok := parseNumericEntity(ent); ok {
+				b.WriteRune(r)
+			} else {
+				b.WriteByte('&')
+				i++
+				continue
+			}
+		}
+		i += semi + 1
+	}
+	return b.String()
+}
+
+func parseNumericEntity(ent string) (rune, bool) {
+	if len(ent) < 2 || ent[0] != '#' {
+		return 0, false
+	}
+	var v int64
+	if ent[1] == 'x' || ent[1] == 'X' {
+		for _, c := range ent[2:] {
+			var d int64
+			switch {
+			case c >= '0' && c <= '9':
+				d = int64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = int64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = int64(c-'A') + 10
+			default:
+				return 0, false
+			}
+			v = v*16 + d
+			if v > 0x10FFFF {
+				return 0, false
+			}
+		}
+		if len(ent) == 2 {
+			return 0, false
+		}
+	} else {
+		for _, c := range ent[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			v = v*10 + int64(c-'0')
+			if v > 0x10FFFF {
+				return 0, false
+			}
+		}
+	}
+	if v == 0 || (v >= 0xD800 && v <= 0xDFFF) {
+		return '�', true
+	}
+	return rune(v), true
+}

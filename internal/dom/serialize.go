@@ -1,0 +1,79 @@
+package dom
+
+import "strings"
+
+// EscapeAttr escapes an attribute value for double-quoted serialization.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `&"<`) {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", `"`, "&quot;", "<", "&lt;")
+	return r.Replace(s)
+}
+
+// OuterHTML serializes n including its own tag.
+func OuterHTML(n *Node) string {
+	var b strings.Builder
+	writeNode(&b, n)
+	return b.String()
+}
+
+// InnerHTML serializes n's children only — the value RCB-Agent extracts for
+// each top-level child of the cloned document and carries inside a CDATA
+// section (paper Figure 4).
+func InnerHTML(n *Node) string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		writeNode(&b, c)
+	}
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case TextNode:
+		// Text is preserved verbatim: the parser does not decode entities in
+		// character data, so round trips are byte-stable.
+		b.WriteString(n.Data)
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case DoctypeNode:
+		b.WriteString("<!")
+		b.WriteString(n.Data)
+		b.WriteString(">")
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if voidElements[n.Tag] {
+			return
+		}
+		for _, c := range n.Children {
+			writeNode(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+// HTML serializes the whole document, including the doctype when present.
+func (d *Document) HTML() string {
+	var b strings.Builder
+	if d.Doctype != "" {
+		b.WriteString("<!")
+		b.WriteString(d.Doctype)
+		b.WriteString(">")
+	}
+	writeNode(&b, d.Root)
+	return b.String()
+}

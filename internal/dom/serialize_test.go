@@ -1,0 +1,128 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOuterHTMLElement(t *testing.T) {
+	n := NewElement("a")
+	n.SetAttr("href", "http://x/")
+	n.AppendChild(NewText("link"))
+	if got := OuterHTML(n); got != `<a href="http://x/">link</a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestOuterHTMLVoid(t *testing.T) {
+	n := NewElement("img")
+	n.SetAttr("src", "i.png")
+	if got := OuterHTML(n); got != `<img src="i.png">` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestAttrValueEscaping(t *testing.T) {
+	n := NewElement("div")
+	n.SetAttr("title", `a "quoted" & <tagged> value`)
+	out := OuterHTML(n)
+	if !strings.Contains(out, `title="a &quot;quoted&quot; &amp; &lt;tagged> value"`) {
+		t.Errorf("got %q", out)
+	}
+	// Round trip restores the raw value.
+	nodes := ParseFragment(out, "div")
+	if v, _ := nodes[0].Attr("title"); v != `a "quoted" & <tagged> value` {
+		t.Errorf("round trip attr = %q", v)
+	}
+}
+
+func TestCommentSerialization(t *testing.T) {
+	n := NewComment(" hidden <b> ")
+	if got := OuterHTML(n); got != "<!-- hidden <b> -->" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInnerHTMLExcludesSelf(t *testing.T) {
+	doc := Parse(`<body><div id="d"><p>a</p><p>b</p></div></body>`)
+	d := doc.ByID("d")
+	if got := InnerHTML(d); got != "<p>a</p><p>b</p>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDocumentHTMLWithDoctype(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><html><head></head><body>x</body></html>`)
+	out := doc.HTML()
+	if !strings.HasPrefix(out, "<!DOCTYPE html>") {
+		t.Errorf("doctype lost: %q", out)
+	}
+}
+
+func TestScriptContentNotEscaped(t *testing.T) {
+	doc := Parse(`<head><script>if(a<b){f("&");}</script></head>`)
+	out := doc.HTML()
+	if !strings.Contains(out, `if(a<b){f("&");}`) {
+		t.Errorf("script content altered: %q", out)
+	}
+}
+
+func TestStableRoundTripOfRealisticPage(t *testing.T) {
+	src := `<!DOCTYPE html><html lang="en"><head><title>Shop</title>` +
+		`<meta charset="utf-8"><link rel="stylesheet" href="/s.css">` +
+		`<script src="/app.js"></script>` +
+		`<style>body { margin: 0; } a > b { x: "y"; }</style></head>` +
+		`<body class="home"><div id="nav"><a href="/a?x=1&amp;y=2">A</a></div>` +
+		`<form action="/search" method="get" onsubmit="return v(this)">` +
+		`<input type="text" name="q" value=""><input type="submit" value="Go">` +
+		`</form><!-- footer --><div id="ft">&copy; 2009</div></body></html>`
+	doc := Parse(src)
+	once := doc.HTML()
+	twice := Parse(once).HTML()
+	if once != twice {
+		t.Fatalf("serialization not a fixed point:\n1: %s\n2: %s", once, twice)
+	}
+}
+
+func BenchmarkParseMediumPage(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString(`<!DOCTYPE html><html><head><title>p</title></head><body>`)
+	for i := 0; i < 400; i++ {
+		sb.WriteString(`<div class="row"><a href="/item">item</a><img src="/i.png"><p>description text here</p></div>`)
+	}
+	sb.WriteString(`</body></html>`)
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(src)
+	}
+}
+
+func BenchmarkSerializeMediumPage(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString(`<!DOCTYPE html><html><head><title>p</title></head><body>`)
+	for i := 0; i < 400; i++ {
+		sb.WriteString(`<div class="row"><a href="/item">item</a><img src="/i.png"><p>description text here</p></div>`)
+	}
+	sb.WriteString(`</body></html>`)
+	doc := Parse(sb.String())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		doc.HTML()
+	}
+}
+
+func BenchmarkCloneMediumPage(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString(`<body>`)
+	for i := 0; i < 400; i++ {
+		sb.WriteString(`<div class="row"><a href="/item">item</a><p>text</p></div>`)
+	}
+	sb.WriteString(`</body>`)
+	doc := Parse(sb.String())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		doc.Root.Clone()
+	}
+}

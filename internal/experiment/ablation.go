@@ -1,0 +1,251 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/httpwire"
+	"rcb/internal/netsim"
+	"rcb/internal/sites"
+)
+
+// Ablations for the design decisions of paper §3.2: the poll-based
+// synchronization model (interval choice; the rejected
+// multipart/x-mixed-replace push alternative), the direct communication
+// model under participant fan-out, and the §3.4 HMAC authentication cost.
+
+// PollIntervalPoint is one row of the poll-interval sweep.
+type PollIntervalPoint struct {
+	Interval time.Duration
+	// MeanStaleness is the expected lag between a host-side change and the
+	// participant seeing it: half the interval (uniform arrival) plus the
+	// content transfer time.
+	MeanStaleness time.Duration
+	// IdleBytesPerSec is the keep-alive overhead when nothing changes.
+	IdleBytesPerSec float64
+}
+
+// emptyPollTxn sizes an idle poll exchange (request plus empty response) by
+// serializing both messages.
+func emptyPollTxn() netsim.Txn {
+	return netsim.Txn{Up: pollRequestBytes(), Down: emptyPollResponseBytes()}
+}
+
+func emptyPollResponseBytes() int {
+	// An empty-content 200 with application/xml type, as RCB-Agent sends.
+	return len("HTTP/1.1 200 OK\r\nContent-Length: 0\r\nContent-Type: application/xml\r\n\r\n")
+}
+
+// SweepPollInterval evaluates the staleness/overhead trade-off of the
+// poll-based synchronization model for one site's sync transfer under env.
+// The paper fixes the interval at one second because "users' average think
+// time on a webpage is about ten seconds"; the sweep shows what that choice
+// buys and costs.
+func SweepPollInterval(syncTxn netsim.Txn, env Environment, intervals []time.Duration) []PollIntervalPoint {
+	direct := netsim.LinkModel{Link: env.HostParticipant}
+	transfer := direct.RequestResponse(syncTxn)
+	idle := emptyPollTxn()
+	out := make([]PollIntervalPoint, 0, len(intervals))
+	for _, iv := range intervals {
+		pollsPerSec := float64(time.Second) / float64(iv)
+		out = append(out, PollIntervalPoint{
+			Interval:        iv,
+			MeanStaleness:   iv/2 + transfer,
+			IdleBytesPerSec: pollsPerSec * float64(idle.Up+idle.Down),
+		})
+	}
+	return out
+}
+
+// PushVsPoll compares the poll model against the multipart/x-mixed-replace
+// push alternative the paper rejects (§3.2.3): push removes the half-
+// interval staleness but keeps a response stream open per participant and
+// loses the piggybacking of participant actions (which then need their own
+// request channel, doubling connection state). The comparison quantifies
+// the latency cost RCB accepts for that simplicity.
+type PushVsPollResult struct {
+	PollStaleness time.Duration // interval/2 + transfer
+	PushStaleness time.Duration // transfer only
+	// ExtraConnectionsPerParticipant is the connection-state cost of push:
+	// the held-open response stream plus a separate action channel.
+	ExtraConnectionsPerParticipant int
+}
+
+// ComparePushVsPoll evaluates both models for one sync transfer.
+func ComparePushVsPoll(syncTxn netsim.Txn, env Environment, interval time.Duration) PushVsPollResult {
+	direct := netsim.LinkModel{Link: env.HostParticipant}
+	transfer := direct.RequestResponse(syncTxn)
+	return PushVsPollResult{
+		PollStaleness:                  interval/2 + transfer,
+		PushStaleness:                  transfer,
+		ExtraConnectionsPerParticipant: 1,
+	}
+}
+
+// FanoutPoint is one row of the participant-scaling ablation.
+type FanoutPoint struct {
+	Participants int
+	// GenerationTime is the one-off content generation cost (paid once,
+	// reused for all participants — the paper's §4.1.2 reuse claim).
+	GenerationTime time.Duration
+	// ServeCPUTime is the measured host-side time to answer all N polls.
+	ServeCPUTime time.Duration
+	// UplinkTime is the modeled time to push N copies of the content
+	// through the host's uplink — the real scaling bottleneck.
+	UplinkTime time.Duration
+}
+
+// MeasureFanout runs a real agent with n participants polling a fresh page
+// and reports where the cost grows: generation is constant, uplink is
+// linear.
+func MeasureFanout(spec sites.SiteSpec, env Environment, counts []int) ([]FanoutPoint, error) {
+	out := make([]FanoutPoint, 0, len(counts))
+	for _, n := range counts {
+		point, err := measureFanoutOnce(spec, env, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *point)
+	}
+	return out, nil
+}
+
+func measureFanoutOnce(spec sites.SiteSpec, env Environment, n int) (*FanoutPoint, error) {
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		return nil, err
+	}
+	defer corpus.Close()
+	host := browser.New("host.lan", corpus.Network.Dialer("host.lan"))
+	defer host.Close()
+	agent := core.NewAgent(host, "host.lan:3000")
+	l, err := corpus.Network.Listen("host.lan:3000")
+	if err != nil {
+		return nil, err
+	}
+	server := &httpwire.Server{Handler: agent}
+	server.Start(l)
+	defer server.Close()
+	if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
+		return nil, err
+	}
+
+	snippets := make([]*core.Snippet, n)
+	for i := range snippets {
+		pb := browser.New(fmt.Sprintf("p%d.lan", i), corpus.Network.Dialer(fmt.Sprintf("p%d.lan", i)))
+		defer pb.Close()
+		snippets[i] = core.NewSnippet(pb, "http://host.lan:3000", "")
+		snippets[i].FetchObjects = false
+		if err := snippets[i].Join(); err != nil {
+			return nil, err
+		}
+	}
+
+	prep, err := agent.BuildContent(false)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, s := range snippets {
+		if _, err := s.PollOnce(); err != nil {
+			return nil, err
+		}
+	}
+	serve := time.Since(start)
+
+	direct := netsim.LinkModel{Link: env.HostParticipant}
+	respBytes := len(prep.XML())
+	uplink := time.Duration(0)
+	for i := 0; i < n; i++ {
+		uplink += direct.RequestResponse(netsim.Txn{Up: pollRequestBytes(), Down: respBytes})
+	}
+	return &FanoutPoint{
+		Participants:   n,
+		GenerationTime: prep.GenTime(),
+		ServeCPUTime:   serve,
+		UplinkTime:     uplink,
+	}, nil
+}
+
+// HMACOverhead measures the cost of the §3.4 request authentication: the
+// time to sign and verify one polling request, to relate against M5.
+type HMACOverheadResult struct {
+	SignTime   time.Duration
+	VerifyTime time.Duration
+}
+
+// MeasureHMACOverhead times reps sign+verify cycles and returns per-op
+// minimums.
+func MeasureHMACOverhead(reps int) HMACOverheadResult {
+	auth := core.NewAuthenticator(core.NewSessionKey())
+	body := []byte("ts=1234567890&actions=%5B%7B%22kind%22%3A%22click%22%7D%5D")
+	var signBest, verifyBest time.Duration
+	for i := 0; i < reps; i++ {
+		s0 := time.Now()
+		signed := auth.Sign("POST", "/poll", body)
+		d := time.Since(s0)
+		if signBest == 0 || d < signBest {
+			signBest = d
+		}
+		v0 := time.Now()
+		if !auth.Verify("POST", signed, body) {
+			panic("experiment: HMAC self-verification failed")
+		}
+		d = time.Since(v0)
+		if verifyBest == 0 || d < verifyBest {
+			verifyBest = d
+		}
+	}
+	return HMACOverheadResult{SignTime: signBest, VerifyTime: verifyBest}
+}
+
+// WriteAblations renders every ablation for one representative site.
+func WriteAblations(w io.Writer, site string, env Environment) error {
+	spec, ok := sites.SiteByName(site)
+	if !ok {
+		return fmt.Errorf("experiment: no site %q", site)
+	}
+	res, err := RunSite(spec, env, Options{Reps: 3})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Ablation: poll interval sweep (%s, %s)\n", site, env.Name)
+	fmt.Fprintf(w, "%-10s %16s %18s\n", "interval", "mean staleness", "idle overhead B/s")
+	fmt.Fprintln(w, strings.Repeat("-", 48))
+	intervals := []time.Duration{100 * time.Millisecond, 250 * time.Millisecond,
+		500 * time.Millisecond, time.Second, 2 * time.Second, 5 * time.Second}
+	for _, p := range SweepPollInterval(res.SyncTxn, env, intervals) {
+		fmt.Fprintf(w, "%-10s %16s %18.0f\n", p.Interval, p.MeanStaleness.Round(time.Millisecond), p.IdleBytesPerSec)
+	}
+
+	pp := ComparePushVsPoll(res.SyncTxn, env, time.Second)
+	fmt.Fprintf(w, "\nAblation: poll vs multipart push (%s, %s, 1s interval)\n", site, env.Name)
+	fmt.Fprintf(w, "  poll staleness: %s   push staleness: %s   extra connections under push: %d/participant\n",
+		pp.PollStaleness.Round(time.Millisecond), pp.PushStaleness.Round(time.Millisecond),
+		pp.ExtraConnectionsPerParticipant)
+
+	fmt.Fprintf(w, "\nAblation: participant fan-out (%s, %s)\n", site, env.Name)
+	fmt.Fprintf(w, "%-4s %14s %14s %14s\n", "N", "generation", "serve CPU", "uplink (model)")
+	fmt.Fprintln(w, strings.Repeat("-", 50))
+	points, err := MeasureFanout(spec, env, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Fprintf(w, "%-4d %14s %14s %14s\n", p.Participants,
+			p.GenerationTime.Round(time.Microsecond),
+			p.ServeCPUTime.Round(time.Microsecond),
+			p.UplinkTime.Round(time.Millisecond))
+	}
+
+	h := MeasureHMACOverhead(100)
+	fmt.Fprintf(w, "\nAblation: HMAC request authentication\n")
+	fmt.Fprintf(w, "  sign: %s   verify: %s   (vs M5 non-cache %s — auth is noise)\n",
+		h.SignTime, h.VerifyTime, res.M5NonCache)
+	return nil
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rcb/internal/netsim"
+	"rcb/internal/sites"
+)
+
+func TestSweepPollInterval(t *testing.T) {
+	sync := netsim.Txn{Up: 120, Down: 50_000}
+	intervals := []time.Duration{100 * time.Millisecond, time.Second, 5 * time.Second}
+	points := SweepPollInterval(sync, LAN, intervals)
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Staleness grows with interval; idle overhead shrinks.
+	for i := 1; i < len(points); i++ {
+		if points[i].MeanStaleness <= points[i-1].MeanStaleness {
+			t.Error("staleness must grow with interval")
+		}
+		if points[i].IdleBytesPerSec >= points[i-1].IdleBytesPerSec {
+			t.Error("idle overhead must shrink with interval")
+		}
+	}
+	// At any interval, staleness is at least half the interval.
+	for _, p := range points {
+		if p.MeanStaleness < p.Interval/2 {
+			t.Errorf("staleness %v below interval/2 %v", p.MeanStaleness, p.Interval/2)
+		}
+	}
+}
+
+func TestComparePushVsPoll(t *testing.T) {
+	sync := netsim.Txn{Up: 120, Down: 50_000}
+	r := ComparePushVsPoll(sync, LAN, time.Second)
+	if r.PushStaleness >= r.PollStaleness {
+		t.Fatal("push must reduce staleness")
+	}
+	if r.PollStaleness-r.PushStaleness != 500*time.Millisecond {
+		t.Fatalf("staleness gap = %v, want interval/2", r.PollStaleness-r.PushStaleness)
+	}
+	if r.ExtraConnectionsPerParticipant < 1 {
+		t.Fatal("push must cost extra connection state")
+	}
+}
+
+func TestMeasureFanout(t *testing.T) {
+	spec, _ := sites.SiteByName("google.com")
+	points, err := MeasureFanout(spec, LAN, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Uplink cost is linear in participants; generation cost is not.
+	if points[1].UplinkTime <= points[0].UplinkTime {
+		t.Error("uplink time must grow with participants")
+	}
+	ratio := float64(points[1].UplinkTime) / float64(points[0].UplinkTime)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("uplink scaling ratio = %.2f, want ~4 for 4x participants", ratio)
+	}
+	if points[0].GenerationTime <= 0 || points[0].ServeCPUTime <= 0 {
+		t.Error("measured times missing")
+	}
+}
+
+func TestMeasureHMACOverhead(t *testing.T) {
+	r := MeasureHMACOverhead(20)
+	if r.SignTime <= 0 || r.VerifyTime <= 0 {
+		t.Fatalf("times = %+v", r)
+	}
+	if r.SignTime > time.Millisecond || r.VerifyTime > time.Millisecond {
+		t.Errorf("HMAC cost implausibly high: %+v", r)
+	}
+}
+
+func TestWriteAblations(t *testing.T) {
+	var b strings.Builder
+	if err := WriteAblations(&b, "google.com", LAN); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"poll interval sweep", "poll vs multipart push", "participant fan-out", "HMAC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rcb/internal/sites"
+)
+
+// runSiteOnce caches a small per-test-binary result set: RunSite is the
+// expensive full-stack pipeline and several tests inspect the same outputs.
+var (
+	cachedLAN map[string]*SiteResult
+	cachedWAN map[string]*SiteResult
+)
+
+func siteResult(t *testing.T, name string, env Environment) *SiteResult {
+	t.Helper()
+	cache := &cachedLAN
+	if env.Name == "WAN" {
+		cache = &cachedWAN
+	}
+	if *cache == nil {
+		*cache = make(map[string]*SiteResult)
+	}
+	if r, ok := (*cache)[name]; ok {
+		return r
+	}
+	spec, ok := sites.SiteByName(name)
+	if !ok {
+		t.Fatalf("no site %s", name)
+	}
+	r, err := RunSite(spec, env, Options{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	(*cache)[name] = r
+	return r
+}
+
+func TestRunSiteProducesAllMetrics(t *testing.T) {
+	r := siteResult(t, "google.com", LAN)
+	if r.M1 <= 0 || r.M2 <= 0 || r.M3 <= 0 || r.M4 <= 0 {
+		t.Fatalf("transfer metrics missing: %+v", r)
+	}
+	if r.M5NonCache <= 0 || r.M5Cache <= 0 || r.M6 <= 0 {
+		t.Fatalf("processing metrics missing: %+v", r)
+	}
+	if r.DocTxn.Down <= r.Spec.PageBytes() {
+		t.Errorf("doc txn %d bytes, must exceed page size %d", r.DocTxn.Down, r.Spec.PageBytes())
+	}
+	if len(r.OriginObjTxns) == 0 || len(r.AgentObjTxns) == 0 {
+		t.Fatal("object transactions missing")
+	}
+}
+
+func TestLANSyncBeatsDirectLoad(t *testing.T) {
+	// Figure 6's claim on a representative pair of sites: a small page and
+	// the largest page.
+	for _, name := range []string{"google.com", "amazon.com"} {
+		r := siteResult(t, name, LAN)
+		if r.M2 >= r.M1 {
+			t.Errorf("%s: LAN M2 (%v) >= M1 (%v)", name, r.M2, r.M1)
+		}
+		if r.M2 >= 400*time.Millisecond {
+			t.Errorf("%s: LAN M2 = %v, paper bound is 0.4s", name, r.M2)
+		}
+	}
+}
+
+func TestLANCacheModeBeatsOrigin(t *testing.T) {
+	// Figure 8's claim.
+	for _, name := range []string{"google.com", "cnn.com"} {
+		r := siteResult(t, name, LAN)
+		if r.M4 >= r.M3 {
+			t.Errorf("%s: LAN M4 (%v) >= M3 (%v)", name, r.M4, r.M3)
+		}
+	}
+}
+
+func TestWANSyncSlowerThanLAN(t *testing.T) {
+	lan := siteResult(t, "google.com", LAN)
+	wan := siteResult(t, "google.com", WAN)
+	if wan.M2 <= lan.M2 {
+		t.Errorf("WAN M2 (%v) should exceed LAN M2 (%v)", wan.M2, lan.M2)
+	}
+}
+
+func TestWANCrossover(t *testing.T) {
+	// Figure 7 shows M1 < M2 for a few sites. In our calibration those are
+	// the largest US-hosted pages, where pushing the inflated document
+	// through the host's 384 Kbps uplink costs more than a direct load:
+	// amazon.com (228.5 KB) is the canonical loser.
+	r := siteResult(t, "amazon.com", WAN)
+	if r.M2 < r.M1 {
+		t.Errorf("amazon.com WAN: M2 (%v) < M1 (%v); expected direct load to win on the largest page", r.M2, r.M1)
+	}
+	// Sync still wins for small pages and for far-away origins.
+	for _, name := range []string{"google.com", "mail.ru", "yahoo.co.jp"} {
+		w := siteResult(t, name, WAN)
+		if w.M2 >= w.M1 {
+			t.Errorf("%s WAN: M2 (%v) >= M1 (%v); sync should win here", name, w.M2, w.M1)
+		}
+	}
+}
+
+func TestM5ScalesWithPageSize(t *testing.T) {
+	small := siteResult(t, "google.com", LAN) // 6.8 KB
+	large := siteResult(t, "amazon.com", LAN) // 228.5 KB
+	if large.M5NonCache <= small.M5NonCache {
+		t.Errorf("M5 did not grow with page size: %v (228KB) vs %v (6.8KB)",
+			large.M5NonCache, small.M5NonCache)
+	}
+}
+
+func TestM6Bounded(t *testing.T) {
+	r := siteResult(t, "amazon.com", LAN)
+	if r.M6 >= time.Second/3 {
+		t.Errorf("M6 = %v, paper bound is one third of a second", r.M6)
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := siteResult(t, "google.com", LAN)
+	results := []*SiteResult{r}
+	var b strings.Builder
+	WriteFigure67(&b, "LAN", results)
+	if !strings.Contains(b.String(), "google.com") || !strings.Contains(b.String(), "M2<M1") {
+		t.Errorf("figure output:\n%s", b.String())
+	}
+	b.Reset()
+	WriteFigure8(&b, "LAN", results)
+	if !strings.Contains(b.String(), "M4<M3") {
+		t.Errorf("figure 8 output:\n%s", b.String())
+	}
+	b.Reset()
+	WriteTable1(&b, results)
+	if !strings.Contains(b.String(), "6.8") {
+		t.Errorf("table 1 output:\n%s", b.String())
+	}
+}
+
+func TestShapeChecksDetectFailures(t *testing.T) {
+	r := siteResult(t, "google.com", LAN)
+	// A copy with sabotaged metrics must fail the checks.
+	bad := *r
+	bad.M2 = bad.M1 * 2
+	lines := ShapeChecks([]*SiteResult{&bad}, []*SiteResult{&bad})
+	if AllPass(lines) {
+		t.Fatal("sabotaged results passed shape checks")
+	}
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "[FAIL]") && strings.Contains(l, "M2 < M1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a FAIL line about M2<M1, got: %v", lines)
+	}
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rcb/internal/sites"
+)
+
+func TestRunMobileScalesProcessing(t *testing.T) {
+	spec, _ := sites.SiteByName("google.com")
+	desktop, err := RunSite(spec, LAN, Options{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobile, err := RunMobile(spec, N810, Options{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device CPU scaling inflates processing by roughly the profile factor.
+	ratio := float64(mobile.M5NonCache) / float64(desktop.M5NonCache)
+	if ratio < 10 || ratio > 160 {
+		t.Errorf("M5 scaling ratio = %.1f, want near %.0f", ratio, N810.CPUFactor)
+	}
+	if mobile.M6 <= desktop.M6 {
+		t.Error("mobile M6 must exceed desktop M6")
+	}
+}
+
+func TestMobileStaysInteractive(t *testing.T) {
+	// The paper's qualitative claim: RCB "can also efficiently support
+	// co-browsing using mobile devices".
+	for _, name := range []string{"google.com", "msn.com", "yahoo.com"} {
+		spec, _ := sites.SiteByName(name)
+		r, err := RunMobile(spec, N810, Options{Reps: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total := r.M2 + r.M5NonCache + r.M6; total >= time.Second {
+			t.Errorf("%s: mobile sync+processing = %v, not interactive", name, total)
+		}
+	}
+}
+
+func TestWriteMobile(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMobile(&b, []string{"google.com"}, N810, Options{Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "N810") || !strings.Contains(b.String(), "google.com") {
+		t.Errorf("mobile output:\n%s", b.String())
+	}
+	if err := WriteMobile(&b, []string{"nope.example"}, N810, Options{Reps: 1}); err == nil {
+		t.Error("unknown site must error")
+	}
+}
+
+func TestHTTPSSitesPayHandshake(t *testing.T) {
+	// live.com is HTTPS (20.9KB, 20ms RTT); its M1 must include the 2-RTT
+	// TLS handshake relative to an otherwise-similar HTTP site.
+	https, _ := sites.SiteByName("live.com")
+	r, err := RunSite(https, LAN, Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the model terms without TLS and check the difference.
+	origin := LAN.OriginLink(https)
+	wantExtra := 4 * origin.Latency // 2 RTTs
+	nonTLS := r.M1 - wantExtra
+	if nonTLS <= 0 {
+		t.Fatalf("M1 = %v smaller than TLS surcharge %v", r.M1, wantExtra)
+	}
+}

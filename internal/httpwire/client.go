@@ -1,0 +1,129 @@
+package httpwire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Dialer opens a connection to a named host. The netsim package supplies
+// dialers that route through simulated links; cmd tools supply net.Dial.
+type Dialer func(addr string) (net.Conn, error)
+
+// Client issues HTTP requests over persistent connections, one live
+// connection per destination address. It mirrors a browser's keep-alive
+// behaviour closely enough for RCB's traffic patterns (repeated polls to one
+// host, object fetches to a handful of origins).
+type Client struct {
+	Dial Dialer
+
+	mu    sync.Mutex
+	conns map[string]*clientConn
+}
+
+type clientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	mu   sync.Mutex
+}
+
+// NewClient returns a client using the given dialer.
+func NewClient(dial Dialer) *Client {
+	return &Client{Dial: dial, conns: make(map[string]*clientConn)}
+}
+
+// Do sends req to addr and returns the response. The connection is reused
+// across calls; on transport error the cached connection is discarded and
+// the request retried once on a fresh connection (a request may race a
+// server-side keep-alive close).
+func (c *Client) Do(addr string, req *Request) (*Response, error) {
+	for attempt := 0; ; attempt++ {
+		cc, cached, err := c.getConn(addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := cc.roundTrip(req)
+		if err != nil {
+			c.dropConn(addr, cc)
+			if cached && attempt == 0 {
+				continue // stale pooled connection; retry once
+			}
+			return nil, fmt.Errorf("httpwire: %s %s to %s: %w", req.Method, req.Target, addr, err)
+		}
+		if resp.WantsClose() {
+			c.dropConn(addr, cc)
+		}
+		return resp, nil
+	}
+}
+
+// Get issues a GET for target against addr.
+func (c *Client) Get(addr, target string) (*Response, error) {
+	return c.Do(addr, NewRequest("GET", target))
+}
+
+// Post issues a POST with the given content type and body.
+func (c *Client) Post(addr, target, ctype string, body []byte) (*Response, error) {
+	req := NewRequest("POST", target)
+	req.Header.Set("Content-Type", ctype)
+	req.Body = body
+	return c.Do(addr, req)
+}
+
+// Close closes every pooled connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, cc := range c.conns {
+		cc.conn.Close()
+		delete(c.conns, addr)
+	}
+}
+
+func (c *Client) getConn(addr string) (cc *clientConn, cached bool, err error) {
+	c.mu.Lock()
+	if c.conns == nil {
+		c.conns = make(map[string]*clientConn)
+	}
+	if cc := c.conns[addr]; cc != nil {
+		c.mu.Unlock()
+		return cc, true, nil
+	}
+	c.mu.Unlock()
+
+	conn, err := c.Dial(addr)
+	if err != nil {
+		return nil, false, fmt.Errorf("httpwire: dial %s: %w", addr, err)
+	}
+	cc = &clientConn{conn: conn, br: bufio.NewReaderSize(conn, 8<<10)}
+	c.mu.Lock()
+	// Another goroutine may have raced a connection in; keep ours anyway and
+	// replace (the old one is closed to avoid a leak).
+	if old := c.conns[addr]; old != nil {
+		old.conn.Close()
+	}
+	c.conns[addr] = cc
+	c.mu.Unlock()
+	return cc, false, nil
+}
+
+func (c *Client) dropConn(addr string, cc *clientConn) {
+	c.mu.Lock()
+	if c.conns[addr] == cc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// roundTrip performs one serialized request/response exchange. The per-conn
+// mutex keeps concurrent callers from interleaving on the same socket.
+func (cc *clientConn) roundTrip(req *Request) (*Response, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err := WriteRequest(cc.conn, req); err != nil {
+		return nil, err
+	}
+	return ReadResponse(cc.br)
+}

@@ -1,0 +1,160 @@
+package httpwire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler responds to one HTTP request. Implementations must be safe for
+// concurrent use: the server invokes the handler from one goroutine per
+// connection, exactly as RCB-Agent's asynchronous socket listener processes
+// overlapping participant connections (paper §4.1.1).
+type Handler interface {
+	ServeWire(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req *Request) *Response
+
+// ServeWire calls f(req).
+func (f HandlerFunc) ServeWire(req *Request) *Response { return f(req) }
+
+// Server accepts connections from a net.Listener and dispatches requests to
+// a Handler over persistent (keep-alive) connections.
+type Server struct {
+	Handler Handler
+
+	// Logf, when non-nil, receives per-connection error diagnostics.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("httpwire: server closed")
+
+// Serve accepts connections on l until Close is called. It blocks.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Start runs Serve on its own goroutine and returns immediately.
+func (s *Server) Start(l net.Listener) {
+	go func() { _ = s.Serve(l) }()
+}
+
+// Close stops the listener, closes active connections, and waits for
+// connection goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReaderSize(conn, 8<<10)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("httpwire: read from %s: %v", conn.RemoteAddr(), err)
+				// Malformed input gets a 400 before the connection drops.
+				if errors.Is(err, ErrMalformed) || errors.Is(err, ErrHeaderTooLarge) {
+					_ = WriteResponse(conn, NewResponse(400, "text/plain", []byte("bad request\n")))
+				}
+			}
+			return
+		}
+		if addr := conn.RemoteAddr(); addr != nil {
+			req.RemoteAddr = addr.String()
+		}
+		resp := s.Handler.ServeWire(req)
+		if resp == nil {
+			resp = NewResponse(500, "text/plain", []byte("nil response\n"))
+		}
+		if err := WriteResponse(conn, resp); err != nil {
+			s.logf("httpwire: write to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if req.WantsClose() || resp.WantsClose() {
+			return
+		}
+	}
+}
+
+// ListenAndServe listens on a real TCP address and serves handler — the
+// entry point used by the cmd/ tools that run RCB over actual sockets.
+func ListenAndServe(addr string, handler Handler) (*Server, net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &Server{Handler: handler}
+	srv.Start(l)
+	return srv, l, nil
+}

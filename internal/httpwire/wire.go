@@ -1,0 +1,257 @@
+package httpwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Errors reported by the wire readers.
+var (
+	ErrHeaderTooLarge = errors.New("httpwire: header block exceeds limit")
+	ErrBodyTooLarge   = errors.New("httpwire: body exceeds limit")
+	ErrMalformed      = errors.New("httpwire: malformed message")
+)
+
+// ReadRequest reads one HTTP request from r. It returns io.EOF when the
+// connection is cleanly closed before any bytes of a new request arrive.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	method, target, proto := parts[0], parts[1], parts[2]
+	if method == "" || target == "" || !strings.HasPrefix(proto, "HTTP/") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	req := &Request{Method: method, Target: target, Proto: proto, Header: Header{}}
+	if err := readHeaders(r, req.Header); err != nil {
+		return nil, err
+	}
+	body, err := readBody(r, req.Header)
+	if err != nil {
+		return nil, err
+	}
+	req.Body = body
+	return req, nil
+}
+
+// ReadResponse reads one HTTP response from r.
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 599 {
+		return nil, fmt.Errorf("%w: status code in %q", ErrMalformed, line)
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code, Header: Header{}}
+	if err := readHeaders(r, resp.Header); err != nil {
+		return nil, err
+	}
+	if code == 204 || code == 304 || code/100 == 1 {
+		return resp, nil // no body by definition
+	}
+	body, err := readBody(r, resp.Header)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+// readLine reads one CRLF- (or bare LF-) terminated line, enforcing the
+// header size limit.
+func readLine(r *bufio.Reader) (string, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			if len(line) > MaxHeaderBytes {
+				return "", ErrHeaderTooLarge
+			}
+			continue
+		}
+		if len(line) > 0 && err == io.EOF {
+			return "", io.ErrUnexpectedEOF
+		}
+		return "", err
+	}
+	if len(line) > MaxHeaderBytes {
+		return "", ErrHeaderTooLarge
+	}
+	s := strings.TrimRight(string(line), "\r\n")
+	return s, nil
+}
+
+func readHeaders(r *bufio.Reader, h Header) error {
+	total := 0
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			if err == io.EOF {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		if line == "" {
+			return nil
+		}
+		total += len(line)
+		if total > MaxHeaderBytes {
+			return ErrHeaderTooLarge
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok || name == "" || strings.ContainsAny(name, " \t") {
+			return fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		}
+		h.Add(name, strings.TrimSpace(value))
+	}
+}
+
+func readBody(r *bufio.Reader, h Header) ([]byte, error) {
+	if strings.EqualFold(h.Get("Transfer-Encoding"), "chunked") {
+		return readChunked(r)
+	}
+	cl := h.Get("Content-Length")
+	if cl == "" {
+		return nil, nil
+	}
+	n, err := strconv.ParseInt(cl, 10, 64)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: content-length %q", ErrMalformed, cl)
+	}
+	if n > MaxBodyBytes {
+		return nil, ErrBodyTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+func readChunked(r *bufio.Reader) ([]byte, error) {
+	var body []byte
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i] // drop chunk extensions
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(line), 16, 64)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("%w: chunk size %q", ErrMalformed, line)
+		}
+		if int64(len(body))+size > MaxBodyBytes {
+			return nil, ErrBodyTooLarge
+		}
+		if size == 0 {
+			// Trailer section: read until blank line.
+			for {
+				tl, err := readLine(r)
+				if err != nil {
+					return nil, err
+				}
+				if tl == "" {
+					return body, nil
+				}
+			}
+		}
+		chunk := make([]byte, size)
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, err
+		}
+		body = append(body, chunk...)
+		// Chunk data is followed by CRLF.
+		if _, err := readLine(r); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// WriteRequest serializes req to w. Content-Length is set from the body.
+func WriteRequest(w io.Writer, req *Request) error {
+	var b strings.Builder
+	proto := req.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	fmt.Fprintf(&b, "%s %s %s\r\n", req.Method, req.Target, proto)
+	h := req.Header
+	if h == nil {
+		h = Header{}
+	}
+	writeHeaders(&b, h, len(req.Body), req.Method == "POST" || req.Method == "PUT")
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(req.Body) > 0 {
+		if _, err := w.Write(req.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteResponse serializes resp to w. Content-Length is set from the body.
+func WriteResponse(w io.Writer, resp *Response) error {
+	var b strings.Builder
+	proto := resp.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	fmt.Fprintf(&b, "%s %d %s\r\n", proto, resp.StatusCode, StatusText(resp.StatusCode))
+	h := resp.Header
+	if h == nil {
+		h = Header{}
+	}
+	hasBody := resp.StatusCode != 204 && resp.StatusCode != 304 && resp.StatusCode/100 != 1
+	writeHeaders(&b, h, len(resp.Body), hasBody)
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if hasBody && len(resp.Body) > 0 {
+		if _, err := w.Write(resp.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeaders(b *strings.Builder, h Header, bodyLen int, alwaysLength bool) {
+	for _, k := range h.sortedKeys() {
+		if k == "Content-Length" || k == "Transfer-Encoding" {
+			continue // we always frame with an accurate Content-Length
+		}
+		for _, v := range h[k] {
+			fmt.Fprintf(b, "%s: %s\r\n", k, v)
+		}
+	}
+	if bodyLen > 0 || alwaysLength {
+		fmt.Fprintf(b, "Content-Length: %d\r\n", bodyLen)
+	}
+}

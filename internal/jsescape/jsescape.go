@@ -1,0 +1,212 @@
+// Package jsescape implements the classic JavaScript escape and unescape
+// functions (ECMA-262 B.2.1 / B.2.2).
+//
+// RCB-Agent encodes every CDATA payload of its XML response content with
+// JavaScript's escape() so that arbitrary page bytes survive transport inside
+// an application/xml message (paper §4.1.2). Ajax-Snippet decodes with
+// unescape() before applying content to the participant document. This
+// package reproduces those two functions byte-for-byte so the Go host agent
+// and the Go participant snippet speak the same wire encoding a real
+// JavaScript engine would.
+package jsescape
+
+import "strings"
+
+// unreserved reports whether escape() leaves c unmodified. ECMA-262 B.2.1
+// keeps ASCII alphanumerics and the characters @ * _ + - . / as-is.
+func unreserved(c rune) bool {
+	switch {
+	case c >= 'A' && c <= 'Z':
+		return true
+	case c >= 'a' && c <= 'z':
+		return true
+	case c >= '0' && c <= '9':
+		return true
+	}
+	switch c {
+	case '@', '*', '_', '+', '-', '.', '/':
+		return true
+	}
+	return false
+}
+
+const upperhex = "0123456789ABCDEF"
+
+// Escape returns the JavaScript escape() encoding of s. Code points below
+// U+0100 become %XX; all others become %uXXXX. Input is treated as a sequence
+// of UTF-16 code units, exactly as a JavaScript engine would: code points
+// outside the BMP are encoded as surrogate pairs (%uD8xx%uDCxx).
+func Escape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case unreserved(r):
+			b.WriteRune(r)
+		case r < 0x100:
+			b.WriteByte('%')
+			b.WriteByte(upperhex[r>>4])
+			b.WriteByte(upperhex[r&0xF])
+		case r <= 0xFFFF:
+			writeU16(&b, uint16(r))
+		default:
+			// Encode as a UTF-16 surrogate pair, mirroring JS semantics.
+			v := uint32(r) - 0x10000
+			writeU16(&b, uint16(0xD800+(v>>10)))
+			writeU16(&b, uint16(0xDC00+(v&0x3FF)))
+		}
+	}
+	return b.String()
+}
+
+func writeU16(b *strings.Builder, u uint16) {
+	b.WriteString("%u")
+	b.WriteByte(upperhex[u>>12])
+	b.WriteByte(upperhex[(u>>8)&0xF])
+	b.WriteByte(upperhex[(u>>4)&0xF])
+	b.WriteByte(upperhex[u&0xF])
+}
+
+// Unescape reverses Escape, implementing JavaScript unescape() (ECMA-262
+// B.2.2). Sequences that do not form a valid %XX or %uXXXX escape are copied
+// through literally, as JS does; there is no error case. Surrogate pairs
+// produced by Escape are recombined into their original code points; unpaired
+// surrogates decode to U+FFFD (Go strings cannot carry lone surrogates).
+func Unescape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	i := 0
+	var pendingHigh rune // buffered high surrogate awaiting its low half
+	flushPending := func() {
+		if pendingHigh != 0 {
+			b.WriteRune('�')
+			pendingHigh = 0
+		}
+	}
+	writeUnit := func(u rune) {
+		if u >= 0xD800 && u <= 0xDBFF { // high surrogate
+			flushPending()
+			pendingHigh = u
+			return
+		}
+		if u >= 0xDC00 && u <= 0xDFFF { // low surrogate
+			if pendingHigh != 0 {
+				r := 0x10000 + (pendingHigh-0xD800)<<10 + (u - 0xDC00)
+				pendingHigh = 0
+				b.WriteRune(r)
+				return
+			}
+			b.WriteRune('�')
+			return
+		}
+		flushPending()
+		b.WriteRune(u)
+	}
+	for i < len(s) {
+		c := s[i]
+		if c != '%' {
+			// Plain byte: decode the next rune to keep UTF-8 intact.
+			flushPendingRune(&b, &pendingHigh)
+			r, size := decodeRune(s[i:])
+			b.WriteRune(r)
+			i += size
+			continue
+		}
+		if i+5 < len(s) && (s[i+1] == 'u' || s[i+1] == 'U') {
+			if v, ok := hex4(s[i+2 : i+6]); ok {
+				writeUnit(rune(v))
+				i += 6
+				continue
+			}
+		}
+		if i+2 < len(s) {
+			if v, ok := hex2(s[i+1 : i+3]); ok {
+				writeUnit(rune(v))
+				i += 3
+				continue
+			}
+		}
+		flushPendingRune(&b, &pendingHigh)
+		b.WriteByte('%')
+		i++
+	}
+	flushPending()
+	return b.String()
+}
+
+func flushPendingRune(b *strings.Builder, pending *rune) {
+	if *pending != 0 {
+		b.WriteRune('�')
+		*pending = 0
+	}
+}
+
+// decodeRune decodes the first rune of s without importing unicode/utf8's
+// full surface; invalid bytes yield the byte value itself (latin-1 fallback)
+// so Unescape(Escape(x)) == x holds for arbitrary byte content that Escape
+// produced from valid strings.
+func decodeRune(s string) (rune, int) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	c := s[0]
+	if c < 0x80 {
+		return rune(c), 1
+	}
+	// Multi-byte UTF-8.
+	var n int
+	var r rune
+	switch {
+	case c&0xE0 == 0xC0:
+		n, r = 2, rune(c&0x1F)
+	case c&0xF0 == 0xE0:
+		n, r = 3, rune(c&0x0F)
+	case c&0xF8 == 0xF0:
+		n, r = 4, rune(c&0x07)
+	default:
+		return rune(c), 1
+	}
+	if len(s) < n {
+		return rune(c), 1
+	}
+	for i := 1; i < n; i++ {
+		if s[i]&0xC0 != 0x80 {
+			return rune(c), 1
+		}
+		r = r<<6 | rune(s[i]&0x3F)
+	}
+	return r, n
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func hex2(s string) (uint16, bool) {
+	h, ok1 := hexVal(s[0])
+	l, ok2 := hexVal(s[1])
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return uint16(h)<<4 | uint16(l), true
+}
+
+func hex4(s string) (uint16, bool) {
+	var v uint16
+	for i := 0; i < 4; i++ {
+		d, ok := hexVal(s[i])
+		if !ok {
+			return 0, false
+		}
+		v = v<<4 | uint16(d)
+	}
+	return v, true
+}

@@ -1,0 +1,162 @@
+package jsescape
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestEscapeASCIIUnreserved(t *testing.T) {
+	in := "abcXYZ019@*_+-./"
+	if got := Escape(in); got != in {
+		t.Fatalf("Escape(%q) = %q, want unchanged", in, got)
+	}
+}
+
+func TestEscapeKnownVectors(t *testing.T) {
+	// Vectors cross-checked against a JavaScript engine's escape().
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{" ", "%20"},
+		{"a b", "a%20b"},
+		{"<html>", "%3Chtml%3E"},
+		{"100%", "100%25"},
+		{"a=1&b=2", "a%3D1%26b%3D2"},
+		{"\n\t", "%0A%09"},
+		{"é", "%E9"},
+		{"ÿ", "%FF"},
+		{"€", "%u20AC"},
+		{"中文", "%u4E2D%u6587"},
+		{"日本語", "%u65E5%u672C%u8A9E"},
+		{"\x00", "%00"},
+		{"~", "%7E"},
+		{"'", "%27"},
+		{"\"", "%22"},
+	}
+	for _, c := range cases {
+		if got := Escape(c.in); got != c.want {
+			t.Errorf("Escape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeSupplementaryPlane(t *testing.T) {
+	// U+1D11E MUSICAL SYMBOL G CLEF → surrogate pair D834 DD1E.
+	if got := Escape("\U0001D11E"); got != "%uD834%uDD1E" {
+		t.Fatalf("Escape clef = %q, want %%uD834%%uDD1E", got)
+	}
+	if got := Unescape("%uD834%uDD1E"); got != "\U0001D11E" {
+		t.Fatalf("Unescape clef = %q", got)
+	}
+}
+
+func TestUnescapeKnownVectors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"%20", " "},
+		{"a%20b", "a b"},
+		{"%3Chtml%3E", "<html>"},
+		{"%E9", "é"},
+		{"%u20AC", "€"},
+		{"%u4E2D%u6587", "中文"},
+		{"plain", "plain"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Unescape(c.in); got != c.want {
+			t.Errorf("Unescape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnescapeMalformedPassthrough(t *testing.T) {
+	// JS unescape copies through anything that is not a valid escape.
+	cases := []struct{ in, want string }{
+		{"%", "%"},
+		{"%2", "%2"},
+		{"%G1", "%G1"},
+		{"%u12", "%u12"},
+		{"%u12G4", "%u12G4"},
+		{"50%", "50%"},
+		{"%%41", "%A"},
+		{"%u", "%u"},
+	}
+	for _, c := range cases {
+		if got := Unescape(c.in); got != c.want {
+			t.Errorf("Unescape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnescapeLoneSurrogates(t *testing.T) {
+	// Lone surrogates cannot be represented in a Go string; they decode to
+	// the replacement character rather than corrupting the output.
+	if got := Unescape("%uD834"); got != "�" {
+		t.Errorf("lone high surrogate = %q", got)
+	}
+	if got := Unescape("%uDD1E"); got != "�" {
+		t.Errorf("lone low surrogate = %q", got)
+	}
+	if got := Unescape("%uD834x"); got != "�x" {
+		t.Errorf("high surrogate then ascii = %q", got)
+	}
+	if got := Unescape("%uD834%20"); got != "� " {
+		t.Errorf("high surrogate then escape = %q", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		if !utf8.ValidString(s) {
+			return true // Escape is defined over valid strings only
+		}
+		return Unescape(Escape(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscapeOutputIsXMLSafeProperty(t *testing.T) {
+	// The whole point of escape() in RCB: payloads must not contain XML
+	// metacharacters that could break the CDATA container.
+	f := func(s string) bool {
+		if !utf8.ValidString(s) {
+			return true
+		}
+		out := Escape(s)
+		return !strings.ContainsAny(out, "<>&\"']]")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscapeHTMLDocument(t *testing.T) {
+	doc := `<body onclick="go()"><p class="x">5 > 4 &amp; 3 < 4</p></body>`
+	enc := Escape(doc)
+	if strings.ContainsAny(enc, "<>&\"") {
+		t.Fatalf("escaped doc still contains XML metacharacters: %q", enc)
+	}
+	if Unescape(enc) != doc {
+		t.Fatalf("round trip failed")
+	}
+}
+
+func BenchmarkEscapeHTML(b *testing.B) {
+	doc := strings.Repeat(`<div class="row" onclick="pick(1)">item &amp; more</div>`, 200)
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Escape(doc)
+	}
+}
+
+func BenchmarkUnescapeHTML(b *testing.B) {
+	doc := Escape(strings.Repeat(`<div class="row" onclick="pick(1)">item &amp; more</div>`, 200))
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Unescape(doc)
+	}
+}

@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Port forwarding (paper §3.2.1): a co-browsing host behind a NAT exposes
+// RCB-Agent by having the gateway forward a public port to the private
+// address. Reachability rules model the NAT: participants cannot dial the
+// private address directly, only the forwarded public one.
+
+// DenyDialTo installs a link policy wrapper that refuses dials to the given
+// address except from allowed source hosts — the "private address inside a
+// LAN" of §3.2.1. It composes with any existing link policy.
+func (n *Network) DenyDialTo(privateAddr string, allowedFrom ...string) {
+	allowed := make(map[string]bool, len(allowedFrom))
+	for _, h := range allowedFrom {
+		allowed[h] = true
+	}
+	n.mu.Lock()
+	prev := n.blocked
+	n.blocked = func(fromHost, toAddr string) bool {
+		if toAddr == privateAddr && !allowed[fromHost] {
+			return true
+		}
+		if prev != nil {
+			return prev(fromHost, toAddr)
+		}
+		return false
+	}
+	n.mu.Unlock()
+}
+
+// Forwarder relays connections from a public address to a private one — the
+// NAT gateway's port-forwarding rule. It copies bytes in both directions
+// and closes both sides when either ends.
+type Forwarder struct {
+	network     *Network
+	gatewayHost string
+	publicAddr  string
+	privateAddr string
+
+	listener *Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewForwarder starts forwarding publicAddr → privateAddr. gatewayHost is
+// the network identity the gateway dials the private host from (it must be
+// allowed through any DenyDialTo rule protecting the private address).
+func (n *Network) NewForwarder(gatewayHost, publicAddr, privateAddr string) (*Forwarder, error) {
+	l, err := n.Listen(publicAddr)
+	if err != nil {
+		return nil, err
+	}
+	f := &Forwarder{
+		network:     n,
+		gatewayHost: gatewayHost,
+		publicAddr:  publicAddr,
+		privateAddr: privateAddr,
+		listener:    l,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Close stops accepting and tears down active relays.
+func (f *Forwarder) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.closed = true
+	for c := range f.conns {
+		c.Close()
+	}
+	f.mu.Unlock()
+	f.listener.Close()
+	f.wg.Wait()
+}
+
+func (f *Forwarder) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		outside, err := f.listener.Accept()
+		if err != nil {
+			return
+		}
+		inside, err := f.network.Dial(f.gatewayHost, f.privateAddr)
+		if err != nil {
+			outside.Close()
+			continue
+		}
+		f.track(outside, inside)
+	}
+}
+
+func (f *Forwarder) track(outside, inside net.Conn) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		outside.Close()
+		inside.Close()
+		return
+	}
+	f.conns[outside] = struct{}{}
+	f.conns[inside] = struct{}{}
+	f.wg.Add(2)
+	f.mu.Unlock()
+	relay := func(dst, src net.Conn) {
+		defer f.wg.Done()
+		_, _ = io.Copy(dst, src)
+		dst.Close()
+		src.Close()
+		f.mu.Lock()
+		delete(f.conns, src)
+		f.mu.Unlock()
+	}
+	go relay(inside, outside)
+	go relay(outside, inside)
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+)
+
+// startEcho runs a trivial echo server on addr.
+func startEcho(t *testing.T, nw *Network, addr string) {
+	t.Helper()
+	l, err := nw.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(conn, conn)
+				conn.Close()
+			}()
+		}
+	}()
+}
+
+func echoOnce(nw *Network, from, to, msg string) (string, error) {
+	conn, err := nw.Dial(from, to)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func TestDenyDialToBlocksOutsiders(t *testing.T) {
+	nw := NewNetwork()
+	startEcho(t, nw, "host.private:3000")
+	nw.DenyDialTo("host.private:3000", "gateway.example", "host.private")
+
+	if _, err := echoOnce(nw, "outsider.net", "host.private:3000", "x"); err == nil {
+		t.Fatal("outsider reached the private address")
+	}
+	// The gateway and the host itself still can.
+	if got, err := echoOnce(nw, "gateway.example", "host.private:3000", "hi"); err != nil || got != "hi" {
+		t.Fatalf("gateway blocked: %q %v", got, err)
+	}
+}
+
+func TestForwarderRelays(t *testing.T) {
+	nw := NewNetwork()
+	startEcho(t, nw, "host.private:3000")
+	nw.DenyDialTo("host.private:3000", "gateway.example")
+
+	fwd, err := nw.NewForwarder("gateway.example", "gateway.example:3000", "host.private:3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	// An outsider reaches the private service via the forwarded port.
+	got, err := echoOnce(nw, "outsider.net", "gateway.example:3000", "through the NAT")
+	if err != nil || got != "through the NAT" {
+		t.Fatalf("forwarded echo: %q %v", got, err)
+	}
+	// Direct access remains blocked.
+	if _, err := echoOnce(nw, "outsider.net", "host.private:3000", "x"); err == nil {
+		t.Fatal("direct access should remain blocked")
+	}
+}
+
+func TestForwarderCloseStopsRelay(t *testing.T) {
+	nw := NewNetwork()
+	startEcho(t, nw, "host.private:3000")
+	fwd, err := nw.NewForwarder("gateway.example", "gateway.example:3000", "host.private:3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd.Close()
+	if _, err := echoOnce(nw, "outsider.net", "gateway.example:3000", "x"); err == nil {
+		t.Fatal("closed forwarder still accepting")
+	}
+	// Idempotent close.
+	fwd.Close()
+}
+
+func TestForwarderToDeadPrivateHost(t *testing.T) {
+	nw := NewNetwork()
+	fwd, err := nw.NewForwarder("gateway.example", "gateway.example:3000", "nobody.private:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+	// The outside connection is accepted then dropped; reads see EOF or a
+	// closed-connection error rather than a hang.
+	conn, err := nw.Dial("outsider.net", "gateway.example:3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected error reading through a dead forward")
+	}
+}

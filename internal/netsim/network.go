@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Network is a virtual internet: named hosts listen on string addresses
+// ("shop.example:80", "host.lan:3000") and dial each other through links
+// chosen by a profile function. It underpins the paper's topology — a host
+// browser, participant browsers, and remote origin web servers, each pair
+// separated by LAN- or WAN-class links.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	// LinkFor selects the link profile for a dial from one host to another.
+	// Defaults to Instant for every pair.
+	linkFor func(fromHost, toAddr string) Link
+	// blocked, when non-nil, vetoes dials (NAT reachability rules).
+	blocked func(fromHost, toAddr string) bool
+}
+
+// NewNetwork returns an empty virtual internet where every path defaults to
+// the Instant (unshaped) link.
+func NewNetwork() *Network {
+	return &Network{
+		listeners: make(map[string]*Listener),
+		linkFor:   func(string, string) Link { return Instant },
+	}
+}
+
+// SetLinkPolicy installs the function that picks a link profile per
+// (fromHost, toAddr) pair.
+func (n *Network) SetLinkPolicy(f func(fromHost, toAddr string) Link) {
+	n.mu.Lock()
+	n.linkFor = f
+	n.mu.Unlock()
+}
+
+// Listen registers a listener for addr. Listening twice on one address is
+// an error, mirroring a bind conflict.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("netsim: address %s already in use", addr)
+	}
+	l := &Listener{network: n, addr: addr, incoming: make(chan *Conn, 16)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects fromHost to toAddr through the configured link profile.
+// Dials vetoed by a reachability rule (DenyDialTo) fail as unreachable.
+func (n *Network) Dial(fromHost, toAddr string) (net.Conn, error) {
+	n.mu.Lock()
+	l := n.listeners[toAddr]
+	profile := n.linkFor(fromHost, toAddr)
+	blocked := n.blocked != nil && n.blocked(fromHost, toAddr)
+	n.mu.Unlock()
+	if blocked {
+		return nil, fmt.Errorf("netsim: host %s unreachable from %s (NAT)", toAddr, fromHost)
+	}
+	if l == nil {
+		return nil, fmt.Errorf("netsim: connection refused: no listener on %s", toAddr)
+	}
+	client, server := NewConnPair(profile, fromHost, toAddr)
+	if err := l.deliver(server); err != nil {
+		client.Close()
+		return nil, err
+	}
+	return client, nil
+}
+
+// Dialer returns an httpwire-compatible dial function bound to fromHost.
+func (n *Network) Dialer(fromHost string) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) { return n.Dial(fromHost, addr) }
+}
+
+// unregister removes a closed listener.
+func (n *Network) unregister(addr string, l *Listener) {
+	n.mu.Lock()
+	if n.listeners[addr] == l {
+		delete(n.listeners, addr)
+	}
+	n.mu.Unlock()
+}
+
+// Listener implements net.Listener over the virtual network.
+type Listener struct {
+	network  *Network
+	addr     string
+	incoming chan *Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, ok := <-l.incoming
+	if !ok {
+		return nil, ErrClosed
+	}
+	return conn, nil
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.incoming)
+	l.mu.Unlock()
+	l.network.unregister(l.addr, l)
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return simAddr(l.addr) }
+
+func (l *Listener) deliver(conn *Conn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("netsim: connection refused: %s closed", l.addr)
+	}
+	select {
+	case l.incoming <- conn:
+		return nil
+	default:
+		return fmt.Errorf("netsim: connection refused: %s backlog full", l.addr)
+	}
+}
+
+var _ net.Listener = (*Listener)(nil)

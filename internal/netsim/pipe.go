@@ -1,0 +1,305 @@
+// Package netsim provides the network substrate for RCB experiments: an
+// in-memory virtual internet of named hosts whose connections implement
+// net.Conn with configurable one-way latency and per-direction bandwidth,
+// plus a deterministic analytic link model used to compute the paper's
+// transfer-time metrics (M1–M4) without wall-clock sleeping.
+//
+// The paper evaluates in two environments: a 100 Mbps campus LAN and a
+// residential WAN with 1.5 Mbps download / 384 Kbps upload (paper §5.1.2).
+// Link captures those profiles; Network routes between hosts using a
+// caller-supplied profile function.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned for operations on closed connections or listeners.
+var ErrClosed = errors.New("netsim: closed")
+
+// Link describes one direction-pair of a simulated network path.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// UpBps is client→server bandwidth in bytes per second (0 = unlimited).
+	UpBps float64
+	// DownBps is server→client bandwidth in bytes per second (0 = unlimited).
+	DownBps float64
+}
+
+// Scaled returns a copy of l with latency divided by factor and bandwidth
+// multiplied by it — used to run integration tests against realistic shapes
+// in a fraction of real time.
+func (l Link) Scaled(factor float64) Link {
+	if factor <= 0 {
+		return l
+	}
+	out := l
+	out.Latency = time.Duration(float64(l.Latency) / factor)
+	if l.UpBps > 0 {
+		out.UpBps = l.UpBps * factor
+	}
+	if l.DownBps > 0 {
+		out.DownBps = l.DownBps * factor
+	}
+	return out
+}
+
+// Canonical environments from the paper's evaluation.
+var (
+	// LAN models the 100 Mbps campus Ethernet (sub-millisecond RTT).
+	LAN = Link{Latency: 250 * time.Microsecond, UpBps: 12.5e6, DownBps: 12.5e6}
+	// WAN models the residential DSL pair: 1.5 Mbps down, 384 Kbps up, with
+	// a typical 2009 coast-to-coast RTT of ~80 ms (40 ms one way).
+	WAN = Link{Latency: 40 * time.Millisecond, UpBps: 48e3, DownBps: 187.5e3}
+	// Instant is an unshaped link for functional tests.
+	Instant = Link{}
+)
+
+// chunk is a unit of in-flight data with its delivery time.
+type chunk struct {
+	data    []byte
+	readyAt time.Time
+}
+
+// pipeHalf is one direction of a simulated connection.
+type pipeHalf struct {
+	mu            sync.Mutex
+	cond          *sync.Cond
+	queue         []chunk
+	closed        bool      // writer closed: EOF after drain
+	broken        bool      // reader closed: writes fail
+	lastDeparture time.Time // bandwidth serialization point
+	latency       time.Duration
+	bps           float64
+	readDeadline  time.Time
+}
+
+func newPipeHalf(latency time.Duration, bps float64) *pipeHalf {
+	h := &pipeHalf{latency: latency, bps: bps}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// write enqueues data with a delivery time computed from the link shape.
+func (h *pipeHalf) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.broken {
+		return 0, ErrClosed
+	}
+	now := time.Now()
+	departure := now
+	if h.lastDeparture.After(departure) {
+		departure = h.lastDeparture
+	}
+	if h.bps > 0 {
+		departure = departure.Add(time.Duration(float64(len(p)) / h.bps * float64(time.Second)))
+	}
+	h.lastDeparture = departure
+	data := make([]byte, len(p))
+	copy(data, p)
+	h.queue = append(h.queue, chunk{data: data, readyAt: departure.Add(h.latency)})
+	h.cond.Broadcast()
+	return len(p), nil
+}
+
+// read blocks until data is deliverable, the writer closes (EOF), or the
+// read deadline passes.
+func (h *pipeHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.broken {
+			return 0, ErrClosed
+		}
+		if !h.readDeadline.IsZero() && !time.Now().Before(h.readDeadline) {
+			return 0, timeoutError{}
+		}
+		if len(h.queue) > 0 {
+			now := time.Now()
+			first := h.queue[0]
+			if !first.readyAt.After(now) {
+				n := copy(p, first.data)
+				if n == len(first.data) {
+					h.queue = h.queue[1:]
+				} else {
+					h.queue[0].data = first.data[n:]
+				}
+				return n, nil
+			}
+			// Data in flight: sleep until delivery (or deadline).
+			wakeAt := first.readyAt
+			if !h.readDeadline.IsZero() && h.readDeadline.Before(wakeAt) {
+				wakeAt = h.readDeadline
+			}
+			h.sleepUntil(wakeAt)
+			continue
+		}
+		if h.closed {
+			return 0, io.EOF
+		}
+		if !h.readDeadline.IsZero() {
+			h.sleepUntil(h.readDeadline)
+			continue
+		}
+		h.cond.Wait()
+	}
+}
+
+// sleepUntil releases the lock until t (or an earlier broadcast).
+func (h *pipeHalf) sleepUntil(t time.Time) {
+	d := time.Until(t)
+	if d <= 0 {
+		return
+	}
+	timer := time.AfterFunc(d, func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	h.cond.Wait()
+	timer.Stop()
+}
+
+func (h *pipeHalf) closeWrite() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *pipeHalf) closeRead() {
+	h.mu.Lock()
+	h.broken = true
+	h.queue = nil
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *pipeHalf) setReadDeadline(t time.Time) {
+	h.mu.Lock()
+	h.readDeadline = t
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Conn is one endpoint of a simulated connection.
+type Conn struct {
+	recv      *pipeHalf // data flowing toward this endpoint
+	send      *pipeHalf // data flowing away from this endpoint
+	local     simAddr
+	remote    simAddr
+	closeOnce sync.Once
+}
+
+// simAddr implements net.Addr for virtual hosts.
+type simAddr string
+
+func (a simAddr) Network() string { return "sim" }
+func (a simAddr) String() string  { return string(a) }
+
+// NewConnPair returns the two endpoints of a connection shaped by link.
+// clientName/serverName label the endpoints for RemoteAddr purposes. Data
+// written by the client is shaped by (Latency, UpBps); data written by the
+// server by (Latency, DownBps).
+func NewConnPair(link Link, clientName, serverName string) (client, server *Conn) {
+	up := newPipeHalf(link.Latency, link.UpBps)     // client → server
+	down := newPipeHalf(link.Latency, link.DownBps) // server → client
+	client = &Conn{recv: down, send: up, local: simAddr(clientName), remote: simAddr(serverName)}
+	server = &Conn{recv: up, send: down, local: simAddr(serverName), remote: simAddr(clientName)}
+	return client, server
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) { return c.send.write(p) }
+
+// Close implements net.Conn. It signals EOF to the peer and aborts local
+// blocked reads.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.send.closeWrite()
+		c.recv.closeRead()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes never block).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.recv.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn. Writes are buffered and never
+// block, so this is a no-op kept for interface completeness.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+var _ net.Conn = (*Conn)(nil)
+
+// CountingConn wraps a net.Conn and tallies bytes in each direction. The
+// experiment harness uses it to capture exact wire volumes for the analytic
+// link model.
+type CountingConn struct {
+	net.Conn
+	mu                sync.Mutex
+	bytesIn, bytesOut int64
+	reads, writes     int64
+}
+
+// NewCountingConn wraps conn.
+func NewCountingConn(conn net.Conn) *CountingConn { return &CountingConn{Conn: conn} }
+
+// Read implements net.Conn.
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.bytesIn += int64(n)
+	c.reads++
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.bytesOut += int64(n)
+	c.writes++
+	c.mu.Unlock()
+	return n, err
+}
+
+// Totals returns bytes received and sent through this wrapper.
+func (c *CountingConn) Totals() (in, out int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesIn, c.bytesOut
+}
+
+func (c *CountingConn) String() string {
+	in, out := c.Totals()
+	return fmt.Sprintf("countingConn{in=%d out=%d}", in, out)
+}

@@ -1,0 +1,240 @@
+package sites
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+)
+
+// MapsApp is the Google-Maps stand-in of the usability study (paper §5.2.1):
+// an Ajax tile application whose page content changes without the URL ever
+// changing. Zooming, panning and searching replace the tile grid in the live
+// DOM — exactly the class of dynamic update that URL-sharing co-browsing
+// cannot mirror but RCB can.
+//
+// The server side serves the initial page, deterministic map tiles, and a
+// geocoding endpoint. The client-side Ajax behaviour that a browser's
+// JavaScript would perform is modeled by MapsOps, which fetches from these
+// endpoints and mutates a dom.Document in place.
+type MapsApp struct {
+	// Host is the virtual origin address, e.g. "maps.example:80".
+	Host string
+	// Places maps a query string to tile coordinates.
+	Places map[string][3]int // q → {x, y, zoom}
+}
+
+// GridSize is the width/height of the visible tile grid.
+const GridSize = 3
+
+// NewMapsApp returns a maps server with a small gazetteer, including the
+// paper's meeting-spot query.
+func NewMapsApp(host string) *MapsApp {
+	return &MapsApp{
+		Host: host,
+		Places: map[string][3]int{
+			"653 5th Ave, New York": {9650, 12318, 16},
+			"times square":          {9646, 12310, 15},
+			"central park":          {9644, 12300, 14},
+			"williamsburg":          {9680, 12330, 14},
+		},
+	}
+}
+
+// ServeWire implements httpwire.Handler.
+func (m *MapsApp) ServeWire(req *httpwire.Request) *httpwire.Response {
+	path := req.Path()
+	switch {
+	case path == "/":
+		return httpwire.NewResponse(200, "text/html; charset=utf-8", []byte(m.initialPage(9640, 12300, 12)))
+	case strings.HasPrefix(path, "/tile/"):
+		parts := strings.Split(strings.TrimPrefix(path, "/tile/"), "/")
+		if len(parts) != 3 {
+			return httpwire.NewResponse(404, "text/plain", []byte("bad tile\n"))
+		}
+		z, _ := strconv.Atoi(parts[0])
+		x, _ := strconv.Atoi(parts[1])
+		y, _ := strconv.Atoi(strings.TrimSuffix(parts[2], ".png"))
+		resp := httpwire.NewResponse(200, "image/png", TileBytes(z, x, y))
+		resp.Header.Set("Cache-Control", "max-age=86400")
+		return resp
+	case path == "/api/geocode":
+		q := formValue(httpwire.ParseForm(req.Query()), "q")
+		if pos, ok := m.Places[q]; ok {
+			body := fmt.Sprintf("%d %d %d", pos[0], pos[1], pos[2])
+			return httpwire.NewResponse(200, "text/plain", []byte(body))
+		}
+		return httpwire.NewResponse(404, "text/plain", []byte("no such place\n"))
+	case path == "/streetview.swf":
+		resp := httpwire.NewResponse(200, "application/x-shockwave-flash", ObjectBytes(m.Host, path, ObjImage, 64*1024))
+		resp.Header.Set("Cache-Control", "max-age=86400")
+		return resp
+	default:
+		return httpwire.NewResponse(404, "text/plain", []byte("not found\n"))
+	}
+}
+
+func formValue(fields []httpwire.FormField, name string) string {
+	for _, f := range fields {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// initialPage renders the map page centered at (x, y, z).
+func (m *MapsApp) initialPage(x, y, z int) string {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><title>Maps</title>`)
+	b.WriteString(`<style>#map img{width:256px;height:256px}</style>`)
+	b.WriteString(`<script>function doSearch(f){return f.q.value.length>0;}</script>`)
+	b.WriteString(`</head><body>`)
+	b.WriteString(`<form id="searchform" action="/api/geocode" method="get" onsubmit="return doSearch(this)">` +
+		`<input type="text" name="q" value=""><input type="submit" value="Search Maps"></form>`)
+	fmt.Fprintf(&b, `<div id="map" data-x="%d" data-y="%d" data-z="%d">`, x, y, z)
+	b.WriteString(tileGrid(x, y, z))
+	b.WriteString(`</div>`)
+	fmt.Fprintf(&b, `<div id="status">center %d,%d zoom %d</div>`, x, y, z)
+	b.WriteString(`<div id="panel"><a href="#" id="zoomin" onclick="return zoom(1)">+</a>` +
+		`<a href="#" id="zoomout" onclick="return zoom(-1)">-</a>` +
+		`<a href="#" id="sv" onclick="return streetview()">street view</a></div>`)
+	b.WriteString(`</body></html>`)
+	return b.String()
+}
+
+// tileGrid renders the GridSize×GridSize <img> tiles around center (x, y).
+func tileGrid(x, y, z int) string {
+	var b strings.Builder
+	half := GridSize / 2
+	for dy := -half; dy <= half; dy++ {
+		for dx := -half; dx <= half; dx++ {
+			fmt.Fprintf(&b, `<img class="tile" src="/tile/%d/%d/%d.png" alt="t">`, z, x+dx, y+dy)
+		}
+	}
+	return b.String()
+}
+
+// TileBytes generates a deterministic tile body; size varies 4–12 KB with
+// coordinates, like real encoded map tiles.
+func TileBytes(z, x, y int) []byte {
+	key := fmt.Sprintf("tile/%d/%d/%d", z, x, y)
+	r := rand.New(rand.NewSource(int64(seed(key))))
+	size := 4096 + r.Intn(8192)
+	return ObjectBytes("maps", "/"+key, ObjImage, size)
+}
+
+// MapsOps performs the client-side Ajax operations on a live document, the
+// way the real app's JavaScript would: fetch data, then mutate the DOM
+// in place. The document URL never changes.
+type MapsOps struct {
+	Addr   string // maps origin address
+	Client *httpwire.Client
+}
+
+// center reads the current map center from the #map data attributes.
+func (o MapsOps) center(doc *dom.Document) (x, y, z int, mapDiv *dom.Node, err error) {
+	mapDiv = doc.ByID("map")
+	if mapDiv == nil {
+		return 0, 0, 0, nil, fmt.Errorf("maps: no #map element in document")
+	}
+	x, _ = strconv.Atoi(mapDiv.AttrOr("data-x", ""))
+	y, _ = strconv.Atoi(mapDiv.AttrOr("data-y", ""))
+	z, _ = strconv.Atoi(mapDiv.AttrOr("data-z", ""))
+	return x, y, z, mapDiv, nil
+}
+
+// apply re-centers the map: updates data attributes, replaces the tile grid,
+// and refreshes the status line.
+func (o MapsOps) apply(doc *dom.Document, x, y, z int) error {
+	_, _, _, mapDiv, err := o.center(doc)
+	if err != nil {
+		return err
+	}
+	mapDiv.SetAttr("data-x", strconv.Itoa(x))
+	mapDiv.SetAttr("data-y", strconv.Itoa(y))
+	mapDiv.SetAttr("data-z", strconv.Itoa(z))
+	dom.SetInnerHTML(mapDiv, tileGrid(x, y, z))
+	if status := doc.ByID("status"); status != nil {
+		dom.SetInnerHTML(status, fmt.Sprintf("center %d,%d zoom %d", x, y, z))
+	}
+	return nil
+}
+
+// Search geocodes q and re-centers the map on the result.
+func (o MapsOps) Search(doc *dom.Document, q string) error {
+	target := "/api/geocode?" + httpwire.EncodeForm([]httpwire.FormField{{Name: "q", Value: q}})
+	resp, err := o.Client.Get(o.Addr, target)
+	if err != nil {
+		return fmt.Errorf("maps search: %w", err)
+	}
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("maps search: place %q not found (status %d)", q, resp.StatusCode)
+	}
+	var x, y, z int
+	if _, err := fmt.Sscanf(string(resp.Body), "%d %d %d", &x, &y, &z); err != nil {
+		return fmt.Errorf("maps search: bad geocode response %q", resp.Body)
+	}
+	return o.apply(doc, x, y, z)
+}
+
+// Zoom changes the zoom level by delta (positive = in), keeping the center.
+func (o MapsOps) Zoom(doc *dom.Document, delta int) error {
+	x, y, z, _, err := o.center(doc)
+	if err != nil {
+		return err
+	}
+	z += delta
+	if z < 1 {
+		z = 1
+	}
+	if z > 18 {
+		z = 18
+	}
+	return o.apply(doc, x, y, z)
+}
+
+// Pan shifts the map center by (dx, dy) tiles.
+func (o MapsOps) Pan(doc *dom.Document, dx, dy int) error {
+	x, y, z, _, err := o.center(doc)
+	if err != nil {
+		return err
+	}
+	return o.apply(doc, x+dx, y+dy, z)
+}
+
+// OpenStreetView embeds the street-view Flash object below the map — the
+// element whose internal actions RCB explicitly does not synchronize (paper
+// §5.2.1), although its presence on the page does propagate.
+func (o MapsOps) OpenStreetView(doc *dom.Document) error {
+	if doc.ByID("streetview") != nil {
+		return nil // already open
+	}
+	mapDiv := doc.ByID("map")
+	if mapDiv == nil {
+		return fmt.Errorf("maps: no #map element in document")
+	}
+	sv := dom.NewElement("object")
+	sv.SetAttr("id", "streetview")
+	sv.SetAttr("type", "application/x-shockwave-flash")
+	sv.SetAttr("data", "/streetview.swf")
+	sv.SetAttr("width", "512")
+	sv.SetAttr("height", "256")
+	parent := mapDiv.Parent
+	parent.InsertBefore(sv, nextSibling(parent, mapDiv))
+	return nil
+}
+
+func nextSibling(parent, child *dom.Node) *dom.Node {
+	for i, c := range parent.Children {
+		if c == child && i+1 < len(parent.Children) {
+			return parent.Children[i+1]
+		}
+	}
+	return nil
+}
+
+var _ httpwire.Handler = (*MapsApp)(nil)

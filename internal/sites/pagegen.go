@@ -1,0 +1,119 @@
+package sites
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GeneratePage builds the deterministic homepage HTML for a Table 1 site.
+// The document hits the site's published size to the byte, carries the full
+// supplementary-object inventory in its head and body, and includes the
+// constructs the RCB content-generation pipeline must handle: relative and
+// absolute URLs, inline style and script, forms with onsubmit handlers,
+// links with onclick handlers, and a comment or two.
+func GeneratePage(spec SiteSpec, objs []Object) string {
+	r := rand.New(rand.NewSource(int64(seed(spec.Name + "/page"))))
+	target := spec.PageBytes()
+
+	var css, js, imgs []Object
+	for _, o := range objs {
+		switch o.Kind {
+		case ObjCSS:
+			css = append(css, o)
+		case ObjScript:
+			js = append(js, o)
+		case ObjImage:
+			imgs = append(imgs, o)
+		}
+	}
+
+	var b strings.Builder
+	b.Grow(target + 512)
+	fmt.Fprintf(&b, "<!DOCTYPE html>")
+	fmt.Fprintf(&b, `<html lang="en"><head><title>%s - Home</title>`, spec.Name)
+	fmt.Fprintf(&b, `<meta charset="utf-8"><meta name="description" content="Welcome to %s">`, spec.Name)
+	for _, o := range css {
+		// Mix relative and path-absolute references to exercise both
+		// branches of RCB-Agent's URL conversion.
+		fmt.Fprintf(&b, `<link rel="stylesheet" href="%s">`, o.Path)
+	}
+	for i, o := range js {
+		if i%2 == 0 {
+			fmt.Fprintf(&b, `<script src="%s"></script>`, strings.TrimPrefix(o.Path, "/"))
+		} else {
+			fmt.Fprintf(&b, `<script src="http://%s%s"></script>`, "www."+spec.Name, o.Path)
+		}
+	}
+	fmt.Fprintf(&b, `<style>body{font:13px arial;margin:0}#hd{background:#%06x}</style>`, r.Intn(1<<24))
+	fmt.Fprintf(&b, `<script>function doSearch(f){return f.q.value.length>0;}</script>`)
+	b.WriteString(`</head><body>`)
+	fmt.Fprintf(&b, `<div id="hd"><a href="/" onclick="return nav(this)">%s</a>`, spec.Name)
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, `<a href="/section/%d">%s</a>`, i, words(r, 1))
+	}
+	b.WriteString(`</div>`)
+	fmt.Fprintf(&b, `<form id="search" action="/search" method="get" onsubmit="return doSearch(this)">`+
+		`<input type="text" name="q" value=""><input type="submit" value="Search"></form>`)
+	b.WriteString(`<!-- content region -->`)
+	fmt.Fprintf(&b, `<div id="content">`)
+	for i, o := range imgs {
+		fmt.Fprintf(&b, `<div class="story"><img src="%s" alt="im%d"><h3><a href="/item/%d">%s</a></h3><p>%s</p></div>`,
+			o.Path, i, i, words(r, 3+r.Intn(4)), words(r, 10+r.Intn(20)))
+	}
+	b.WriteString(`</div>`)
+	fmt.Fprintf(&b, `<div id="ft">&copy; 2009 %s <a href="http://www.%s/about">About</a></div>`, spec.Name, spec.Name)
+
+	// Pad with filler paragraphs to land exactly on the published document
+	// size. The closing markup is fixed-length, so the remaining budget is
+	// exact.
+	const closing = `</body></html>`
+	pad := target - b.Len() - len(closing) - len(`<div id="filler"><p></p></div>`)
+	if pad > 0 {
+		b.WriteString(`<div id="filler"><p>`)
+		b.WriteString(filler(r, pad))
+		b.WriteString(`</p></div>`)
+	}
+	b.WriteString(closing)
+	out := b.String()
+	if len(out) < target {
+		// Page skeleton exceeded target only for very small sites; otherwise
+		// pad trailing whitespace (harmless in HTML) to the exact size.
+		out += strings.Repeat(" ", target-len(out))
+	}
+	return out
+}
+
+// words produces n space-separated pseudo-words.
+func words(r *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(word(r))
+	}
+	return b.String()
+}
+
+var syllables = []string{"ta", "ri", "no", "ve", "lum", "ser", "qua", "dor", "mi", "pal", "ex", "cor", "ban", "tel", "os"}
+
+func word(r *rand.Rand) string {
+	var b strings.Builder
+	n := 2 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[r.Intn(len(syllables))])
+	}
+	return b.String()
+}
+
+// filler produces exactly n bytes of word-like text.
+func filler(r *rand.Rand, n int) string {
+	var b strings.Builder
+	b.Grow(n + 16)
+	for b.Len() < n {
+		b.WriteString(word(r))
+		b.WriteByte(' ')
+	}
+	return b.String()[:n]
+}

@@ -1,0 +1,93 @@
+package sites
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"rcb/internal/httpwire"
+)
+
+// StaticSite serves one Table 1 homepage and its supplementary objects. It
+// also answers /search and /item/N with small derived pages so co-browsing
+// navigation has somewhere to go.
+type StaticSite struct {
+	Spec    SiteSpec
+	Objects []Object
+
+	once sync.Once
+	page string
+	objs map[string]Object
+}
+
+// NewStaticSite builds the site for spec with its deterministic inventory.
+func NewStaticSite(spec SiteSpec) *StaticSite {
+	return &StaticSite{Spec: spec, Objects: Inventory(spec)}
+}
+
+func (s *StaticSite) init() {
+	s.once.Do(func() {
+		s.page = GeneratePage(s.Spec, s.Objects)
+		s.objs = make(map[string]Object, len(s.Objects))
+		for _, o := range s.Objects {
+			s.objs[o.Path] = o
+		}
+	})
+}
+
+// Homepage returns the generated homepage HTML.
+func (s *StaticSite) Homepage() string {
+	s.init()
+	return s.page
+}
+
+// ServeWire implements httpwire.Handler.
+func (s *StaticSite) ServeWire(req *httpwire.Request) *httpwire.Response {
+	s.init()
+	if req.Method != "GET" && req.Method != "POST" {
+		return httpwire.NewResponse(405, "text/plain", []byte("method not allowed\n"))
+	}
+	path := req.Path()
+	switch {
+	case path == "/" || path == "/index.html":
+		resp := httpwire.NewResponse(200, "text/html; charset=utf-8", []byte(s.page))
+		if s.Spec.Sessions {
+			resp.Header.Set("Set-Cookie", fmt.Sprintf("sid=%s-guest; Path=/", s.Spec.Name))
+		}
+		return resp
+	case path == "/search":
+		q := ""
+		for _, f := range httpwire.ParseForm(req.Query()) {
+			if f.Name == "q" {
+				q = f.Value
+			}
+		}
+		body := fmt.Sprintf(`<!DOCTYPE html><html><head><title>%s search</title></head>`+
+			`<body><h1>Results for %q</h1><div id="results">`+
+			`<a href="/item/1">result one</a><a href="/item/2">result two</a>`+
+			`</div></body></html>`, s.Spec.Name, q)
+		return httpwire.NewResponse(200, "text/html; charset=utf-8", []byte(body))
+	case path == "/frames.html":
+		// A frameset page: the document shape that exercises the
+		// docFrameSet/docNoFrames branches of the Figure 4 format.
+		body := fmt.Sprintf(`<!DOCTYPE html><html><head><title>%s frames</title></head>`+
+			`<frameset cols="30%%,70%%"><frame src="/section/0"><frame src="/section/1"></frameset>`+
+			`<noframes>This page requires frame support.</noframes></html>`, s.Spec.Name)
+		return httpwire.NewResponse(200, "text/html; charset=utf-8", []byte(body))
+	case strings.HasPrefix(path, "/item/") || strings.HasPrefix(path, "/section/"):
+		body := fmt.Sprintf(`<!DOCTYPE html><html><head><title>%s %s</title></head>`+
+			`<body><h1>%s</h1><p>Detail page.</p><a href="/">home</a></body></html>`,
+			s.Spec.Name, path, path)
+		return httpwire.NewResponse(200, "text/html; charset=utf-8", []byte(body))
+	default:
+		if o, ok := s.objs[path]; ok {
+			resp := httpwire.NewResponse(200, o.Kind.ContentType(),
+				ObjectBytes(s.Spec.Name, o.Path, o.Kind, o.Size))
+			resp.Header.Set("Cache-Control", "max-age=3600")
+			return resp
+		}
+		return httpwire.NewResponse(404, "text/plain", []byte("not found\n"))
+	}
+}
+
+var _ httpwire.Handler = (*StaticSite)(nil)
