@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Concurrency regression gate: the single-flight and sharded-lock agent
+# paths must stay race-clean.
+race:
+	$(GO) test -race ./internal/core/
+
+# Serve-path benchmarks plus the BENCH_fanout.json snapshot future PRs
+# compare against.
+bench:
+	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice' -benchmem .
+	$(GO) run ./cmd/rcb-bench -fanout -out BENCH_fanout.json

@@ -10,9 +10,11 @@ package rcb
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	"rcb/internal/benchutil"
 	"rcb/internal/browser"
 	"rcb/internal/core"
 	"rcb/internal/dom"
@@ -288,6 +290,112 @@ func BenchmarkAblationFanout(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// registerPollers wraps benchutil.RegisterPollers (shared with rcb-bench
+// -fanout so the two measurements cannot drift) with b.Fatal error
+// handling.
+func registerPollers(b *testing.B, agent *core.Agent, n int) []*httpwire.Request {
+	b.Helper()
+	reqs, err := benchutil.RegisterPollers(agent, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reqs
+}
+
+// BenchmarkFanoutScale measures the agent serve path as participants scale
+// to 16/64/256 in both modes: one document bump per iteration, then every
+// participant polls. With encode-once generation the per-iteration cost is
+// one Figure 3 pipeline plus N cheap cache-hit serves.
+func BenchmarkFanoutScale(b *testing.B) {
+	spec, _ := sites.SiteByName("google.com")
+	for _, mode := range []struct {
+		label string
+		cache bool
+	}{{"cache", true}, {"noncache", false}} {
+		for _, n := range []int{16, 64, 256} {
+			b.Run(fmt.Sprintf("%s/participants-%d", mode.label, n), func(b *testing.B) {
+				w := newBenchWorld(b, spec)
+				w.agent.DefaultCacheMode = mode.cache
+				reqs := registerPollers(b, w.agent, n)
+				tick := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					tick++
+					if err := benchutil.BumpDoc(w.host, tick); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if err := benchutil.ServeAll(w.agent, reqs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentPoll stresses the single-flight guard: 64 participants
+// poll simultaneously immediately after a version bump, the worst case for
+// redundant generation. builds/op reports how many Figure 3 pipelines ran
+// per iteration — 1.0 with single-flight, up to 64 without it.
+func BenchmarkConcurrentPoll(b *testing.B) {
+	spec, _ := sites.SiteByName("msn.com")
+	w := newBenchWorld(b, spec)
+	const n = 64
+	reqs := registerPollers(b, w.agent, n)
+	tick := 0
+	builds0 := w.agent.ContentBuilds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tick++
+		if err := benchutil.BumpDoc(w.host, tick); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for _, req := range reqs {
+			wg.Add(1)
+			go func(req *httpwire.Request) {
+				defer wg.Done()
+				if resp := w.agent.ServeWire(req); resp.StatusCode != 200 {
+					b.Errorf("poll returned %d", resp.StatusCode)
+				}
+			}(req)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(w.agent.ContentBuilds()-builds0)/float64(b.N), "builds/op")
+}
+
+// BenchmarkMirrorSplice measures per-participant message assembly when a
+// poll must carry pending mirror actions: the cached document payload is
+// spliced, never re-rendered.
+func BenchmarkMirrorSplice(b *testing.B) {
+	spec, _ := sites.SiteByName("msn.com")
+	w := newBenchWorld(b, spec)
+	prep, err := w.agent.BuildContent(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	actions := []core.Action{
+		{Kind: core.ActionMouseMove, X: 12, Y: 400, From: "p2"},
+		{Kind: core.ActionScroll, Y: 250, From: "p3"},
+	}
+	b.SetBytes(int64(len(prep.XML())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := prep.WithUserActions(actions); len(out) <= len(prep.XML()) {
+			b.Fatal("splice produced no insertion")
+		}
 	}
 }
 

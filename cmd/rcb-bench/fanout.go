@@ -1,0 +1,144 @@
+package main
+
+// The -fanout mode benchmarks the RCB-Agent serve path in isolation —
+// request classification, form parse, participant lookup, prepared-content
+// cache, response assembly — as participant count scales, and writes a JSON
+// snapshot (BENCH_fanout.json) so successive PRs can compare against a
+// recorded baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"rcb/internal/benchutil"
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/sites"
+)
+
+// FanoutResult is one (mode, participants) measurement.
+type FanoutResult struct {
+	Name         string  `json:"name"`
+	Participants int     `json:"participants"`
+	CacheMode    bool    `json:"cache_mode"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// FanoutSnapshot is the BENCH_fanout.json document.
+type FanoutSnapshot struct {
+	Benchmark  string         `json:"benchmark"`
+	Site       string         `json:"site"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Results    []FanoutResult `json:"results"`
+}
+
+func writeFanout(site, outPath string) error {
+	spec, ok := sites.SiteByName(site)
+	if !ok {
+		return fmt.Errorf("unknown site %q", site)
+	}
+	snap := FanoutSnapshot{
+		Benchmark:  "FanoutScale",
+		Site:       site,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, cache := range []bool{true, false} {
+		for _, n := range []int{16, 64, 256} {
+			res, err := benchFanout(spec, cache, n)
+			if err != nil {
+				return err
+			}
+			snap.Results = append(snap.Results, res)
+			fmt.Fprintf(os.Stderr, "rcb-bench: %s\t%.0f ns/op\t%d allocs/op\t%d B/op\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		}
+	}
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if outPath != "" {
+		var err error
+		if f, err = os.Create(outPath); err != nil {
+			return err
+		}
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(snap)
+	if f != nil {
+		// A flush failure at Close would leave a truncated snapshot that
+		// future PRs silently compare against; surface it.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// benchFanout runs one configuration under testing.Benchmark: every
+// iteration bumps the host document once and then serves one poll per
+// participant, exactly like BenchmarkFanoutScale in the root test suite.
+func benchFanout(spec sites.SiteSpec, cacheMode bool, participants int) (FanoutResult, error) {
+	name := fmt.Sprintf("%s/participants-%d", modeLabel(cacheMode), participants)
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	defer corpus.Close()
+	host := browser.New("host.lan", corpus.Network.Dialer("host.lan"))
+	defer host.Close()
+	agent := core.NewAgent(host, "host.lan:3000")
+	agent.DefaultCacheMode = cacheMode
+	if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
+		return FanoutResult{}, err
+	}
+	reqs, err := benchutil.RegisterPollers(agent, participants)
+	if err != nil {
+		return FanoutResult{}, err
+	}
+
+	var failure error
+	tick := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tick++
+			if err := benchutil.BumpDoc(host, tick); err != nil {
+				failure = err
+				b.FailNow()
+			}
+			b.StartTimer()
+			if err := benchutil.ServeAll(agent, reqs); err != nil {
+				failure = err
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return FanoutResult{}, fmt.Errorf("%s: %w", name, failure)
+	}
+	return FanoutResult{
+		Name:         name,
+		Participants: participants,
+		CacheMode:    cacheMode,
+		NsPerOp:      float64(r.NsPerOp()),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+	}, nil
+}
+
+func modeLabel(cache bool) string {
+	if cache {
+		return "cache"
+	}
+	return "noncache"
+}

@@ -8,6 +8,7 @@
 //	rcb-bench -table 1             # Table 1
 //	rcb-bench -shapes              # paper-claim shape checks
 //	rcb-bench -ablation -site cnn.com
+//	rcb-bench -fanout -out BENCH_fanout.json   # agent serve-path scaling snapshot
 package main
 
 import (
@@ -24,11 +25,32 @@ func main() {
 	shapes := flag.Bool("shapes", false, "run the paper-claim shape checks")
 	ablation := flag.Bool("ablation", false, "run the ablation suite")
 	mobile := flag.Bool("mobile", false, "run the Fennec/N810 mobile experiment (paper §6)")
+	fanout := flag.Bool("fanout", false, "benchmark the agent serve path at 16/64/256 participants")
+	out := flag.String("out", "", "write fanout results as JSON to this file (default stdout; -all defaults to BENCH_fanout.json)")
 	all := flag.Bool("all", false, "regenerate everything")
-	site := flag.String("site", "google.com", "site for -ablation")
+	site := flag.String("site", "google.com", "site for -ablation and -fanout")
 	reps := flag.Int("reps", 3, "repetitions for M5/M6 measurements")
 	flag.Parse()
 
+	if *fanout {
+		if err := writeFanout(*site, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *all {
+		// -all regenerates every artifact, including the serve-path
+		// scaling snapshot future perf PRs compare against.
+		outPath := *out
+		if outPath == "" {
+			outPath = "BENCH_fanout.json"
+		}
+		defer func() {
+			if err := writeFanout(*site, outPath); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	if !*all && *figure == 0 && *table == 0 && !*shapes && !*ablation && !*mobile {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,3 @@
+module rcb
+
+go 1.24

@@ -1,0 +1,64 @@
+// Package benchutil holds wire-level helpers shared by the root benchmark
+// suite and cmd/rcb-bench, so the two fan-out benchmarks measure exactly
+// the same serve path and cannot drift apart.
+package benchutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+)
+
+// BumpDoc applies the canonical fan-out benchmark mutation: one attribute
+// write that advances the host document version, forcing the next poll
+// sweep to regenerate content.
+func BumpDoc(host *browser.Browser, tick int) error {
+	return host.ApplyMutation(func(doc *dom.Document) error {
+		doc.Body().SetAttr("data-tick", strconv.Itoa(tick))
+		return nil
+	})
+}
+
+// ServeAll serves one poll per prebuilt request — the timed body of every
+// fan-out benchmark iteration. Both BenchmarkFanoutScale and rcb-bench
+// -fanout call this, so the two measurements cannot drift apart.
+func ServeAll(agent *core.Agent, reqs []*httpwire.Request) error {
+	for _, req := range reqs {
+		if resp := agent.ServeWire(req); resp.StatusCode != 200 {
+			return fmt.Errorf("poll returned %d", resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// RegisterPollers connects n participants directly at the wire level and
+// returns a prebuilt polling request per participant (cookie attached,
+// ts=0 so every poll takes the full response-sending path). Serving these
+// exercises the agent serve path in isolation: request classification,
+// form parse, participant lookup, prepared-content lookup, response
+// assembly — with no participant-side application cost mixed in.
+func RegisterPollers(agent *core.Agent, n int) ([]*httpwire.Request, error) {
+	reqs := make([]*httpwire.Request, n)
+	for i := range reqs {
+		resp := agent.ServeWire(httpwire.NewRequest("GET", "/"))
+		if resp.StatusCode != 200 {
+			return nil, fmt.Errorf("join returned %d", resp.StatusCode)
+		}
+		cookie := resp.Header.Get("Set-Cookie")
+		pid, _, _ := strings.Cut(strings.TrimPrefix(cookie, "rcbpid="), ";")
+		if pid == "" {
+			return nil, fmt.Errorf("no pid in Set-Cookie %q", cookie)
+		}
+		req := httpwire.NewRequest("POST", "/poll")
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		req.Header.Set("Cookie", "rcbpid="+pid)
+		req.Body = []byte("ts=0")
+		reqs[i] = req
+	}
+	return reqs, nil
+}

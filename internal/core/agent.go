@@ -5,15 +5,16 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcb/internal/browser"
 	"rcb/internal/dom"
 	"rcb/internal/httpwire"
-	"rcb/internal/jsescape"
 )
 
-// Participant tracks one connected co-browsing participant.
+// Participant is the published state of one connected co-browsing
+// participant — a plain value snapshot, safe to copy.
 type Participant struct {
 	ID        string
 	CacheMode bool
@@ -22,7 +23,15 @@ type Participant struct {
 	LastDocTime int64
 	LastSeen    time.Time
 	Polls       int64
-	outbox      []Action // other users' actions awaiting delivery
+}
+
+// participantState is the live record behind a Participant: the snapshot
+// fields plus the delivery outbox, guarded by its own mutex so polls from
+// different participants never contend with each other.
+type participantState struct {
+	mu sync.Mutex
+	Participant
+	outbox []Action // other users' actions awaiting delivery
 }
 
 // PendingAction is a participant action awaiting host confirmation under a
@@ -40,6 +49,12 @@ const maxOutbox = 256
 // Agent is RCB-Agent: the HTTP service a co-browsing host runs inside its
 // browser. It implements httpwire.Handler; back it with any listener (real
 // TCP in cmd/rcb-host, the virtual network in tests and experiments).
+//
+// Internal state is sharded across independent locks so the serve path
+// scales with participant count: the participant table (read-mostly, an
+// RWMutex plus per-participant locks), the object mapping table, the
+// prepared-content cache, the moderation queue, and the docTime clock each
+// contend only with themselves.
 type Agent struct {
 	// Browser is the host browser whose document is shared.
 	Browser *browser.Browser
@@ -61,15 +76,46 @@ type Agent struct {
 	// Logf, when non-nil, receives diagnostics.
 	Logf func(format string, args ...any)
 
-	mu           sync.Mutex
-	participants map[string]*Participant
+	// pmu guards the participant table and ID counter. Polls only take the
+	// read lock; per-participant fields are guarded by each entry's own
+	// mutex.
+	pmu          sync.RWMutex
+	participants map[string]*participantState
 	nextPID      int
-	mapping      map[string]string // agent path "/obj/tN" → absolute URL
-	tokens       map[string]string // absolute URL → agent path
-	prepared     map[bool]*PreparedContent
-	pending      []PendingAction
-	actionSeq    int64
-	lastDocTime  int64
+
+	// omu guards the object mapping tables (agent path ↔ absolute URL).
+	omu     sync.Mutex
+	mapping map[string]string // agent path "/obj/tN" → absolute URL
+	tokens  map[string]string // absolute URL → agent path
+
+	// cmu guards the prepared-content cache and the single-flight guard:
+	// of N concurrent polls that observe a new document version, exactly
+	// one runs the Figure 3 pipeline; the rest block on its result.
+	cmu      sync.Mutex
+	prepared map[bool]*PreparedContent
+	inflight map[bool]*contentCall
+
+	// amu guards the moderation queue and action sequencing.
+	amu       sync.Mutex
+	pending   []PendingAction
+	actionSeq int64
+
+	// tmu guards the monotonic docTime clock.
+	tmu         sync.Mutex
+	lastDocTime int64
+
+	// builds counts Figure 3 pipeline executions — the observable the
+	// single-flight tests and cache-effectiveness metrics key on.
+	builds atomic.Int64
+}
+
+// contentCall is one in-flight BuildContent execution that concurrent polls
+// wait on instead of re-running the pipeline.
+type contentCall struct {
+	version int64
+	done    chan struct{}
+	prep    *PreparedContent
+	err     error
 }
 
 // PreparedContent caches one generated message per (document version,
@@ -80,10 +126,18 @@ type PreparedContent struct {
 	version int64
 	docTime int64
 	xml     []byte
+	// splice is the offset of the closing </newContent> tag: per-participant
+	// userActions are inserted here by two appends, never a re-marshal.
+	splice  int
 	genTime time.Duration
+	// resp is the ready-to-send response wrapping xml. PreparedContent is
+	// immutable and WriteResponse only reads, so one response object fans
+	// out to every participant without a per-poll header allocation.
+	resp *httpwire.Response
 }
 
-// XML returns the marshaled Figure 4 message.
+// XML returns the marshaled Figure 4 message. The slice is shared across
+// participants and must not be mutated.
 func (p *PreparedContent) XML() []byte { return p.xml }
 
 // DocTime returns the message timestamp.
@@ -93,16 +147,38 @@ func (p *PreparedContent) DocTime() int64 { return p.docTime }
 // content — the paper's M5 metric.
 func (p *PreparedContent) GenTime() time.Duration { return p.genTime }
 
+// WithUserActions returns the cached message with a userActions element for
+// one participant spliced in before the closing tag. The cached document
+// payload is never re-rendered: the result is the shared bytes around one
+// freshly encoded actions element.
+func (p *PreparedContent) WithUserActions(actions []Action) []byte {
+	if len(actions) == 0 {
+		return p.xml
+	}
+	out := make([]byte, 0, len(p.xml)+spliceSizeHint(actions))
+	out = append(out, p.xml[:p.splice]...)
+	out = appendUserActions(out, actions)
+	out = append(out, p.xml[p.splice:]...)
+	return out
+}
+
+// spliceSizeHint estimates the encoded size of a userActions element so the
+// splice buffer is sized in one allocation.
+func spliceSizeHint(actions []Action) int {
+	return 48 + 96*len(actions)
+}
+
 // NewAgent returns an agent for the given host browser, reachable at addr.
 func NewAgent(b *browser.Browser, addr string) *Agent {
 	return &Agent{
 		Browser:      b,
 		Addr:         addr,
 		Policy:       OpenPolicy(),
-		participants: make(map[string]*Participant),
+		participants: make(map[string]*participantState),
 		mapping:      make(map[string]string),
 		tokens:       make(map[string]string),
 		prepared:     make(map[bool]*PreparedContent),
+		inflight:     make(map[bool]*contentCall),
 	}
 }
 
@@ -144,12 +220,14 @@ func (a *Agent) ServeWire(req *httpwire.Request) *httpwire.Response {
 // participant identity is issued as a cookie so subsequent polls and object
 // requests can be attributed.
 func (a *Agent) serveInitialPage(_ *httpwire.Request) *httpwire.Response {
-	a.mu.Lock()
-	a.nextPID++
-	pid := fmt.Sprintf("p%d", a.nextPID)
 	mode := a.DefaultCacheMode
-	a.participants[pid] = &Participant{ID: pid, CacheMode: mode, LastSeen: time.Now()}
-	a.mu.Unlock()
+	a.pmu.Lock()
+	a.nextPID++
+	pid := "p" + strconv.Itoa(a.nextPID)
+	a.participants[pid] = &participantState{
+		Participant: Participant{ID: pid, CacheMode: mode, LastSeen: time.Now()},
+	}
+	a.pmu.Unlock()
 	a.logf("rcb-agent: participant %s connected (cache mode %v)", pid, mode)
 
 	page := `<!DOCTYPE html><html><head><title>RCB Session</title>` +
@@ -175,9 +253,9 @@ const snippetScript = `/* RCB Ajax-Snippet: poll agent, apply newContent, piggyb
 // corresponding cache key").
 func (a *Agent) serveObject(req *httpwire.Request) *httpwire.Response {
 	target := req.Path()
-	a.mu.Lock()
+	a.omu.Lock()
 	absURL, ok := a.mapping[target]
-	a.mu.Unlock()
+	a.omu.Unlock()
 	if !ok {
 		return httpwire.NewResponse(404, "text/plain", []byte("unknown object\n"))
 	}
@@ -226,15 +304,16 @@ func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
 		a.handleAction(p.ID, act)
 	}
 
-	// Step 2: timestamp inspection.
-	a.mu.Lock()
+	// Step 2: timestamp inspection. Only this participant's lock is taken;
+	// polls from other participants proceed in parallel.
+	p.mu.Lock()
 	p.LastDocTime = ts
 	p.LastSeen = time.Now()
 	p.Polls++
 	mode := p.CacheMode
 	outbox := p.outbox
 	p.outbox = nil
-	a.mu.Unlock()
+	p.mu.Unlock()
 
 	prep, err := a.contentForMode(mode)
 	if err != nil {
@@ -242,37 +321,37 @@ func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
 		return httpwire.NewResponse(500, "text/plain", []byte("content generation failed\n"))
 	}
 
-	// Step 3: response sending.
+	// Step 3: response sending. The prepared message bytes are shared
+	// across participants; pending mirror actions are spliced in without
+	// re-rendering the document payload, and the no-action fast path reuses
+	// the prepared response object as-is.
 	if prep != nil && prep.docTime > ts {
-		msg := prep.xml
-		if len(outbox) > 0 {
-			// Re-render with the participant's pending mirror actions.
-			msg = withUserActions(prep.xml, outbox)
+		if len(outbox) == 0 {
+			return prep.resp
 		}
-		return httpwire.NewResponse(200, "application/xml", msg)
+		return httpwire.NewResponse(200, "application/xml", prep.WithUserActions(outbox))
 	}
 	if len(outbox) > 0 {
 		nc := &NewContent{DocTime: ts, UserActions: outbox}
 		return httpwire.NewResponse(200, "application/xml", nc.Marshal())
 	}
 	// "If no new content needs to be sent back, RCB-Agent sends a response
-	// with empty content ... to avoid hanging requests."
-	return httpwire.NewResponse(200, "application/xml", nil)
+	// with empty content ... to avoid hanging requests." All empty polls
+	// share one immutable response object.
+	return emptyPollResponse
 }
 
-// withUserActions splices a userActions element into an already marshaled
-// message, keeping the cached document payload shared across participants.
-func withUserActions(xml []byte, actions []Action) []byte {
-	s := string(xml)
-	insert := "<userActions><![CDATA[" + jsEscapeActions(actions) + "]]></userActions>\n"
-	if i := strings.LastIndex(s, "</newContent>"); i >= 0 {
-		return []byte(s[:i] + insert + s[i:])
-	}
-	return xml
-}
+// emptyPollResponse answers every no-new-content poll. It is shared and
+// must never be mutated by a caller.
+var emptyPollResponse = httpwire.NewResponse(200, "application/xml", nil)
 
+// pidFromRequest extracts the rcbpid cookie, scanning the header in place —
+// no per-poll slice allocation.
 func pidFromRequest(req *httpwire.Request) string {
-	for _, part := range strings.Split(req.Header.Get("Cookie"), ";") {
+	cookie := req.Header.Get("Cookie")
+	for cookie != "" {
+		var part string
+		part, cookie, _ = strings.Cut(cookie, ";")
 		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if ok && k == "rcbpid" {
 			return v
@@ -281,9 +360,9 @@ func pidFromRequest(req *httpwire.Request) string {
 	return ""
 }
 
-func (a *Agent) participant(pid string) *Participant {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+func (a *Agent) participant(pid string) *participantState {
+	a.pmu.RLock()
+	defer a.pmu.RUnlock()
 	return a.participants[pid]
 }
 
@@ -291,13 +370,13 @@ func (a *Agent) participant(pid string) *Participant {
 // which participants are connected, and it can notify this information to a
 // co-browsing host or participant" (§3.3).
 func (a *Agent) Participants() []Participant {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.pmu.RLock()
+	defer a.pmu.RUnlock()
 	out := make([]Participant, 0, len(a.participants))
 	for _, p := range a.participants {
-		cp := *p
-		cp.outbox = nil
-		out = append(out, cp)
+		p.mu.Lock()
+		out = append(out, p.Participant)
+		p.mu.Unlock()
 	}
 	return out
 }
@@ -306,53 +385,76 @@ func (a *Agent) Participants() []Participant {
 // mode ("RCB-Agent can allow different participant browsers to use
 // different modes", §4.1.2).
 func (a *Agent) SetParticipantMode(pid string, cacheMode bool) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	p, ok := a.participants[pid]
-	if !ok {
+	p := a.participant(pid)
+	if p == nil {
 		return fmt.Errorf("rcb-agent: no participant %s", pid)
 	}
+	p.mu.Lock()
 	p.CacheMode = cacheMode
+	p.mu.Unlock()
 	return nil
 }
 
 // Disconnect removes a participant (leave at any time, §3.3).
 func (a *Agent) Disconnect(pid string) {
-	a.mu.Lock()
+	a.pmu.Lock()
 	delete(a.participants, pid)
-	a.mu.Unlock()
+	a.pmu.Unlock()
 }
+
+// ContentBuilds reports how many times the Figure 3 pipeline has executed —
+// with the single-flight guard this advances once per (document version,
+// mode) no matter how many participants poll concurrently.
+func (a *Agent) ContentBuilds() int64 { return a.builds.Load() }
 
 // contentForMode returns the prepared content for a mode, regenerating when
 // the host document changed. Returns nil when no page is loaded yet.
+//
+// Generation is single-flight: the first poll to observe a new version runs
+// BuildContent; concurrent polls for the same mode block on that execution
+// and share its result instead of redundantly re-running the pipeline.
 func (a *Agent) contentForMode(cacheMode bool) (*PreparedContent, error) {
 	version := a.Browser.Version()
 	if version == 0 {
 		return nil, nil
 	}
-	a.mu.Lock()
-	if prep := a.prepared[cacheMode]; prep != nil && prep.version == version {
-		a.mu.Unlock()
+	a.cmu.Lock()
+	// >= rather than ==: a poll that read the version before a concurrent
+	// bump stored newer content must take the cache, not rebuild it.
+	if prep := a.prepared[cacheMode]; prep != nil && prep.version >= version {
+		a.cmu.Unlock()
 		return prep, nil
 	}
-	a.mu.Unlock()
+	if call := a.inflight[cacheMode]; call != nil && call.version >= version {
+		a.cmu.Unlock()
+		<-call.done
+		return call.prep, call.err
+	}
+	call := &contentCall{version: version, done: make(chan struct{})}
+	a.inflight[cacheMode] = call
+	a.cmu.Unlock()
 
 	prep, err := a.BuildContent(cacheMode)
-	if err != nil {
-		return nil, err
+	a.cmu.Lock()
+	if err == nil {
+		if cur := a.prepared[cacheMode]; cur == nil || prep.version >= cur.version {
+			a.prepared[cacheMode] = prep
+		}
 	}
-	a.mu.Lock()
-	// Another goroutine may have built the same version concurrently; last
-	// writer wins, both are equivalent.
-	a.prepared[cacheMode] = prep
-	a.mu.Unlock()
-	return prep, nil
+	if a.inflight[cacheMode] == call {
+		delete(a.inflight, cacheMode)
+	}
+	a.cmu.Unlock()
+	call.prep, call.err = prep, err
+	close(call.done)
+	return prep, err
 }
 
 // BuildContent runs the full Figure 3 generation pipeline against the
 // host's live document and returns the prepared message. Exported so the
 // experiment harness can measure M5 (content generation time) directly.
 func (a *Agent) BuildContent(cacheMode bool) (*PreparedContent, error) {
+	a.builds.Add(1)
 	version := a.Browser.Version()
 	start := time.Now()
 	var nc *NewContent
@@ -376,7 +478,9 @@ func (a *Agent) BuildContent(cacheMode bool) (*PreparedContent, error) {
 		version: version,
 		docTime: nc.DocTime,
 		xml:     xml,
+		splice:  len(xml) - len(closeNewContent),
 		genTime: time.Since(start),
+		resp:    httpwire.NewResponse(200, "application/xml", xml),
 	}, nil
 }
 
@@ -384,8 +488,8 @@ func (a *Agent) BuildContent(cacheMode bool) (*PreparedContent, error) {
 // milliseconds (as the paper specifies) made strictly monotonic so rapid
 // successive versions remain distinguishable.
 func (a *Agent) nextDocTime() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.tmu.Lock()
+	defer a.tmu.Unlock()
 	t := time.Now().UnixMilli()
 	if t <= a.lastDocTime {
 		t = a.lastDocTime + 1
@@ -397,16 +501,20 @@ func (a *Agent) nextDocTime() int64 {
 // registerObject maps an absolute URL into the agent's object namespace and
 // returns the full agent URL for it. When authentication is on, the URL is
 // pre-signed: object fetches are issued by the participant browser's
-// renderer, which cannot compute MACs itself.
+// renderer, which cannot compute MACs itself. Signing happens outside the
+// table lock — HMAC cost must not serialize other registrations.
 func (a *Agent) registerObject(absURL string) string {
-	a.mu.Lock()
+	a.omu.Lock()
 	path, ok := a.tokens[absURL]
 	if !ok {
-		path = fmt.Sprintf("/obj/t%d", len(a.tokens)+1)
+		buf := make([]byte, 0, 20)
+		buf = append(buf, "/obj/t"...)
+		buf = strconv.AppendInt(buf, int64(len(a.tokens)+1), 10)
+		path = string(buf)
 		a.tokens[absURL] = path
 		a.mapping[path] = absURL
 	}
-	a.mu.Unlock()
+	a.omu.Unlock()
 	target := path
 	if a.Auth != nil {
 		target = a.Auth.Sign("GET", path, nil)
@@ -416,25 +524,25 @@ func (a *Agent) registerObject(absURL string) string {
 
 // MappingLen reports the size of the object mapping table.
 func (a *Agent) MappingLen() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.omu.Lock()
+	defer a.omu.Unlock()
 	return len(a.mapping)
 }
 
 // handleAction routes one participant action through the policy.
 func (a *Agent) handleAction(pid string, act Action) {
-	a.mu.Lock()
+	a.amu.Lock()
 	a.actionSeq++
 	act.Seq = a.actionSeq
-	a.mu.Unlock()
+	a.amu.Unlock()
 
 	switch a.Policy.Decide(pid, act) {
 	case Deny:
 		a.logf("rcb-agent: denied %s", act)
 	case Confirm:
-		a.mu.Lock()
+		a.amu.Lock()
 		a.pending = append(a.pending, PendingAction{Seq: act.Seq, ParticipantID: pid, Action: act})
-		a.mu.Unlock()
+		a.amu.Unlock()
 		a.logf("rcb-agent: queued for confirmation: %s", act)
 	case Apply:
 		if err := a.ApplyAction(act); err != nil {
@@ -445,15 +553,15 @@ func (a *Agent) handleAction(pid string, act Action) {
 
 // PendingConfirmations lists actions awaiting host approval.
 func (a *Agent) PendingConfirmations() []PendingAction {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.amu.Lock()
+	defer a.amu.Unlock()
 	return append([]PendingAction(nil), a.pending...)
 }
 
 // Confirm resolves a queued action by sequence number: approved actions are
 // applied, rejected ones dropped.
 func (a *Agent) Confirm(seq int64, approve bool) error {
-	a.mu.Lock()
+	a.amu.Lock()
 	idx := -1
 	for i, pa := range a.pending {
 		if pa.Seq == seq {
@@ -462,12 +570,12 @@ func (a *Agent) Confirm(seq int64, approve bool) error {
 		}
 	}
 	if idx < 0 {
-		a.mu.Unlock()
+		a.amu.Unlock()
 		return fmt.Errorf("rcb-agent: no pending action %d", seq)
 	}
 	pa := a.pending[idx]
 	a.pending = append(a.pending[:idx], a.pending[idx+1:]...)
-	a.mu.Unlock()
+	a.amu.Unlock()
 	if !approve {
 		a.logf("rcb-agent: rejected %s", pa.Action)
 		return nil
@@ -584,18 +692,21 @@ func (a *Agent) applyClick(act Action) error {
 }
 
 // Broadcast queues an action for delivery to every participant except its
-// originator — pointer mirroring (paper step 9).
+// originator — pointer mirroring (paper step 9). The participant table is
+// only read-locked; each outbox append takes that participant's own lock.
 func (a *Agent) Broadcast(act Action) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.pmu.RLock()
+	defer a.pmu.RUnlock()
 	for _, p := range a.participants {
 		if p.ID == act.From {
 			continue
 		}
+		p.mu.Lock()
 		p.outbox = append(p.outbox, act)
 		if len(p.outbox) > maxOutbox {
 			p.outbox = p.outbox[len(p.outbox)-maxOutbox:]
 		}
+		p.mu.Unlock()
 	}
 }
 
@@ -604,10 +715,4 @@ func (a *Agent) Broadcast(act Action) {
 func (a *Agent) HostAction(act Action) {
 	act.From = "host"
 	a.Broadcast(act)
-}
-
-// jsEscapeActions encodes mirror actions the way every Figure 4 payload is
-// encoded: JSON inside JavaScript escape().
-func jsEscapeActions(actions []Action) string {
-	return jsescape.Escape(EncodeActions(actions))
 }

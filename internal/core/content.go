@@ -23,18 +23,23 @@ const RCBAttr = "data-rcb"
 
 // ElementPath returns the structural path of an element: the chain of
 // element-child indexes from the document root, e.g. "1.0.3". The root
-// itself has path "".
+// itself has path "". The ancestor walk counts element siblings in place —
+// rewriting calls this for every interactive element of every generation
+// pass, so it must not allocate per level.
 func ElementPath(n *dom.Node) string {
-	var idxs []int
+	var stack [16]int
+	idxs := stack[:0]
 	for cur := n; cur.Parent != nil; cur = cur.Parent {
 		pos := 0
 		found := false
-		for _, sib := range cur.Parent.ChildElements() {
+		for _, sib := range cur.Parent.Children {
 			if sib == cur {
 				found = true
 				break
 			}
-			pos++
+			if sib.Type == dom.ElementNode {
+				pos++
+			}
 		}
 		if !found {
 			return "" // detached node
@@ -42,33 +47,46 @@ func ElementPath(n *dom.Node) string {
 		idxs = append(idxs, pos)
 	}
 	// Reverse into root-first order.
-	var b strings.Builder
+	var buf [64]byte
+	b := buf[:0]
 	for i := len(idxs) - 1; i >= 0; i-- {
-		if b.Len() > 0 {
-			b.WriteByte('.')
+		if len(b) > 0 {
+			b = append(b, '.')
 		}
-		b.WriteString(strconv.Itoa(idxs[i]))
+		b = strconv.AppendInt(b, int64(idxs[i]), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // ResolvePath walks a structural path from root, returning nil when the
 // path no longer exists (the document changed since the path was minted).
 func ResolvePath(root *dom.Node, path string) *dom.Node {
-	if path == "" {
-		return root
-	}
 	cur := root
-	for _, part := range strings.Split(path, ".") {
+	for path != "" {
+		part, rest, found := strings.Cut(path, ".")
+		if part == "" || (found && rest == "") {
+			return nil // empty segment: leading, trailing, or doubled dot
+		}
+		path = rest
 		idx, err := strconv.Atoi(part)
 		if err != nil || idx < 0 {
 			return nil
 		}
-		kids := cur.ChildElements()
-		if idx >= len(kids) {
+		var next *dom.Node
+		for _, c := range cur.Children {
+			if c.Type != dom.ElementNode {
+				continue
+			}
+			if idx == 0 {
+				next = c
+				break
+			}
+			idx--
+		}
+		if next == nil {
 			return nil
 		}
-		cur = kids[idx]
+		cur = next
 	}
 	return cur
 }

@@ -41,6 +41,13 @@ func TestResolvePathStale(t *testing.T) {
 	if ResolvePath(doc.Root, "-1") != nil {
 		t.Error("negative path must be nil")
 	}
+	// Malformed segmenting — empty parts from leading, trailing, or doubled
+	// dots — must be rejected, not silently resolved.
+	for _, p := range []string{"0.", ".0", "0..0", "."} {
+		if ResolvePath(doc.Root, p) != nil {
+			t.Errorf("malformed path %q must be nil", p)
+		}
+	}
 }
 
 func TestElementPathPropertyRandomTrees(t *testing.T) {

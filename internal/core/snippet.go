@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -46,11 +47,19 @@ type Snippet struct {
 
 	auth *Authenticator
 
+	// pollAddr caches the resolved agent dial address: it is a pure
+	// function of AgentURL, so it is computed once instead of re-parsing
+	// the URL on every poll.
+	pollAddrOnce sync.Once
+	pollAddr     string
+	pollAddrErr  error
+
 	mu          sync.Mutex
 	docTime     int64
 	queue       []Action
 	stats       SnippetStats
 	lastObjects []browser.ObjectFetch
+	memo        ApplyMemo
 }
 
 // NewSnippet returns a snippet for a participant browser joining agentURL.
@@ -194,16 +203,19 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	s.stats.ActionsSent += int64(len(actions))
 	s.mu.Unlock()
 
-	fields := []httpwire.FormField{{Name: "ts", Value: fmt.Sprint(ts)}}
+	fields := []httpwire.FormField{{Name: "ts", Value: strconv.FormatInt(ts, 10)}}
 	if len(actions) > 0 {
 		fields = append(fields, httpwire.FormField{Name: "actions", Value: EncodeActions(actions)})
 	}
-	body := []byte(httpwire.EncodeForm(fields))
+	body := httpwire.AppendForm(make([]byte, 0, 64), fields)
 	target := "/poll"
 	if s.auth != nil {
 		target = s.auth.Sign("POST", target, body)
 	}
-	addr, err := browser.AddrOf(s.AgentURL + "/")
+	s.pollAddrOnce.Do(func() {
+		s.pollAddr, s.pollAddrErr = browser.AddrOf(s.AgentURL + "/")
+	})
+	addr, err := s.pollAddr, s.pollAddrErr
 	if err != nil {
 		return false, err
 	}
@@ -269,7 +281,7 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 func (s *Snippet) ApplyContent(content *NewContent) error {
 	start := time.Now()
 	err := s.Browser.ApplyMutation(func(doc *dom.Document) error {
-		return ApplyContentToDocument(doc, content)
+		return s.memo.Apply(doc, content)
 	})
 	apply := time.Since(start)
 	if err != nil {
@@ -305,34 +317,82 @@ func hostOf(u string) string { return browser.HostOf(u) }
 
 // ApplyContentToDocument is the pure DOM transformation of Figure 5,
 // exported for direct testing and for the experiment harness's M6
-// measurement.
+// measurement. It always applies in full; the snippet's own polling loop
+// goes through ApplyMemo.Apply, which skips re-parsing unchanged payloads.
 func ApplyContentToDocument(doc *dom.Document, content *NewContent) error {
+	return applyContent(doc, content, nil)
+}
+
+// ApplyMemo remembers the payloads the last Apply installed into a
+// document. The agent resends the full content on every change, so in a
+// typical session most payloads are byte-identical between polls (only an
+// attribute or one region changed); comparing the payload strings is a
+// memcmp, while re-installing one means a full HTML re-parse. The memo is
+// only valid while its document is mutated exclusively through it — the
+// snippet's situation — and invalidates itself when the document changes
+// identity (navigation).
+type ApplyMemo struct {
+	doc *dom.Document
+	// headOK distinguishes "never applied" from "applied an empty head":
+	// the first pass must always run the head cleanup.
+	headOK   bool
+	head     []HeadChild
+	body     appliedTop
+	frameset appliedTop
+	noframes appliedTop
+}
+
+// appliedTop records the last applied innerHTML payload of one top-level
+// element; ok distinguishes "applied empty" from "never applied".
+type appliedTop struct {
+	inner string
+	ok    bool
+}
+
+// Apply installs content into doc, reusing the existing DOM wherever the
+// new payload is identical to what this memo previously applied.
+func (m *ApplyMemo) Apply(doc *dom.Document, content *NewContent) error {
+	if m.doc != doc {
+		*m = ApplyMemo{doc: doc}
+	}
+	return applyContent(doc, content, m)
+}
+
+func applyContent(doc *dom.Document, content *NewContent, memo *ApplyMemo) error {
 	root := doc.Root
 	head := doc.Head()
 
-	// Step 1: clean up the head, keeping Ajax-Snippet. The snippet "always
-	// keeps itself as a <script> child element within the head element of
-	// any current document".
-	var snippetEl *dom.Node
-	for _, c := range head.ChildElements() {
-		if c.Tag == "script" && c.AttrOr("id", "") == "rcb-ajax-snippet" {
-			snippetEl = c
-			break
+	// Steps 1 and 2: head cleanup and rebuild — skipped entirely when the
+	// new head children match what this memo last installed.
+	if memo == nil || !memo.headOK || !headChildrenEqual(memo.head, content.Head) {
+		// Step 1: clean up the head, keeping Ajax-Snippet. The snippet
+		// "always keeps itself as a <script> child element within the head
+		// element of any current document".
+		var snippetEl *dom.Node
+		for _, c := range head.ChildElements() {
+			if c.Tag == "script" && c.AttrOr("id", "") == "rcb-ajax-snippet" {
+				snippetEl = c
+				break
+			}
 		}
-	}
-	head.RemoveAllChildren()
-	if snippetEl != nil {
-		head.AppendChild(snippetEl)
-	}
+		head.RemoveAllChildren()
+		if snippetEl != nil {
+			head.AppendChild(snippetEl)
+		}
 
-	// Step 2: append the new head children.
-	for _, hc := range content.Head {
-		el := dom.NewElement(hc.Tag)
-		el.Attrs = append([]dom.Attr(nil), hc.Attrs...)
-		if hc.Inner != "" {
-			dom.SetInnerHTML(el, hc.Inner)
+		// Step 2: append the new head children.
+		for _, hc := range content.Head {
+			el := dom.NewElement(hc.Tag)
+			el.Attrs = append([]dom.Attr(nil), hc.Attrs...)
+			if hc.Inner != "" {
+				dom.SetInnerHTML(el, hc.Inner)
+			}
+			head.AppendChild(el)
 		}
-		head.AppendChild(el)
+		if memo != nil {
+			memo.head = append(memo.head[:0], content.Head...)
+			memo.headOK = true
+		}
 	}
 
 	// Step 3: clean up obsolete top-level elements. "If the current
@@ -360,23 +420,69 @@ func ApplyContentToDocument(doc *dom.Document, content *NewContent) error {
 		}
 	}
 
-	// Step 4: set the remaining top elements in content order.
-	setTop := func(tag string, te *TopElement) {
+	// Step 4: set the remaining top elements in content order. Attributes
+	// are always refreshed (cheap); the innerHTML re-parse is skipped when
+	// the payload is unchanged since the memo's last pass.
+	setTop := func(tag string, te *TopElement, last *appliedTop) {
 		if te == nil {
+			if last != nil {
+				*last = appliedTop{}
+			}
 			return
 		}
 		el := root.FirstChildElement(tag)
 		if el == nil {
 			el = dom.NewElement(tag)
 			root.AppendChild(el)
+			if last != nil {
+				*last = appliedTop{}
+			}
 		}
 		el.Attrs = append([]dom.Attr(nil), te.Attrs...)
+		if last != nil && last.ok && last.inner == te.Inner {
+			return
+		}
 		dom.SetInnerHTML(el, te.Inner)
+		if last != nil {
+			*last = appliedTop{inner: te.Inner, ok: true}
+		}
 	}
-	setTop("body", content.Body)
-	setTop("frameset", content.FrameSet)
-	setTop("noframes", content.NoFrames)
+	if memo != nil {
+		setTop("body", content.Body, &memo.body)
+		setTop("frameset", content.FrameSet, &memo.frameset)
+		setTop("noframes", content.NoFrames, &memo.noframes)
+	} else {
+		setTop("body", content.Body, nil)
+		setTop("frameset", content.FrameSet, nil)
+		setTop("noframes", content.NoFrames, nil)
+	}
 	return nil
+}
+
+// headChildrenEqual reports whether two head-child lists carry identical
+// payloads. dom.Attr is a comparable struct, so this is pure memcmp work.
+func headChildrenEqual(a, b []HeadChild) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Tag != b[i].Tag || a[i].Inner != b[i].Inner || !attrsEqual(a[i].Attrs, b[i].Attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+func attrsEqual(a, b []dom.Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Run drives the polling loop until stop is closed, sleeping PollInterval

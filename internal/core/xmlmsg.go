@@ -99,38 +99,68 @@ func parseTopElementPayload(s string) (*TopElement, error) {
 	return &TopElement{Attrs: decodeAttrs(parts[0]), Inner: parts[1]}, nil
 }
 
+// closeNewContent is the fixed tail of every Figure 4 message. Prepared
+// content records where it starts so per-participant userActions can be
+// spliced in front of it without re-marshaling (see PreparedContent).
+const closeNewContent = "</newContent>\n"
+
 // Marshal renders the message in the exact shape of Figure 4.
 func (c *NewContent) Marshal() []byte {
-	var b strings.Builder
-	b.WriteString("<?xml version='1.0' encoding='utf-8'?>\n<newContent>\n")
-	fmt.Fprintf(&b, "<docTime>%d</docTime>\n", c.DocTime)
+	return c.AppendMarshal(make([]byte, 0, 1<<10))
+}
+
+// AppendMarshal appends the Figure 4 rendering of the message to dst and
+// returns the extended slice. Payloads are escape()d directly into dst —
+// no intermediate strings beyond the payload packing itself.
+func (c *NewContent) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, "<?xml version='1.0' encoding='utf-8'?>\n<newContent>\n<docTime>"...)
+	dst = strconv.AppendInt(dst, c.DocTime, 10)
+	dst = append(dst, "</docTime>\n"...)
 	if c.HasDocument {
-		b.WriteString("<docContent>\n<docHead>\n")
+		dst = append(dst, "<docContent>\n<docHead>\n"...)
 		for i, h := range c.Head {
-			fmt.Fprintf(&b, "<hChild%d><![CDATA[%s]]></hChild%d>\n",
-				i+1, jsescape.Escape(headChildPayload(h)), i+1)
+			dst = append(dst, "<hChild"...)
+			dst = strconv.AppendInt(dst, int64(i+1), 10)
+			dst = append(dst, "><![CDATA["...)
+			dst = jsescape.AppendEscape(dst, headChildPayload(h))
+			dst = append(dst, "]]></hChild"...)
+			dst = strconv.AppendInt(dst, int64(i+1), 10)
+			dst = append(dst, ">\n"...)
 		}
-		b.WriteString("</docHead>\n")
-		if c.Body != nil {
-			fmt.Fprintf(&b, "<docBody><![CDATA[%s]]></docBody>\n",
-				jsescape.Escape(topElementPayload(c.Body)))
-		}
-		if c.FrameSet != nil {
-			fmt.Fprintf(&b, "<docFrameSet><![CDATA[%s]]></docFrameSet>\n",
-				jsescape.Escape(topElementPayload(c.FrameSet)))
-		}
-		if c.NoFrames != nil {
-			fmt.Fprintf(&b, "<docNoFrames><![CDATA[%s]]></docNoFrames>\n",
-				jsescape.Escape(topElementPayload(c.NoFrames)))
-		}
-		b.WriteString("</docContent>\n")
+		dst = append(dst, "</docHead>\n"...)
+		dst = appendTopElement(dst, "docBody", c.Body)
+		dst = appendTopElement(dst, "docFrameSet", c.FrameSet)
+		dst = appendTopElement(dst, "docNoFrames", c.NoFrames)
+		dst = append(dst, "</docContent>\n"...)
 	}
 	if len(c.UserActions) > 0 {
-		fmt.Fprintf(&b, "<userActions><![CDATA[%s]]></userActions>\n",
-			jsescape.Escape(EncodeActions(c.UserActions)))
+		dst = appendUserActions(dst, c.UserActions)
 	}
-	b.WriteString("</newContent>\n")
-	return []byte(b.String())
+	dst = append(dst, closeNewContent...)
+	return dst
+}
+
+func appendTopElement(dst []byte, name string, t *TopElement) []byte {
+	if t == nil {
+		return dst
+	}
+	dst = append(dst, '<')
+	dst = append(dst, name...)
+	dst = append(dst, "><![CDATA["...)
+	dst = jsescape.AppendEscape(dst, topElementPayload(t))
+	dst = append(dst, "]]></"...)
+	dst = append(dst, name...)
+	dst = append(dst, ">\n"...)
+	return dst
+}
+
+// appendUserActions appends a userActions element — shared by full marshals
+// and the per-participant splice of PreparedContent.WithUserActions.
+func appendUserActions(dst []byte, actions []Action) []byte {
+	dst = append(dst, "<userActions><![CDATA["...)
+	dst = jsescape.AppendEscape(dst, EncodeActions(actions))
+	dst = append(dst, "]]></userActions>\n"...)
+	return dst
 }
 
 // Unmarshal parses a Figure 4 message. Payload CDATA content is escape()
@@ -153,7 +183,7 @@ func Unmarshal(data []byte) (*NewContent, error) {
 		c.HasDocument = true
 		if headSec, ok := elementText(content, "docHead"); ok {
 			for i := 1; ; i++ {
-				payload, ok := elementText(headSec, fmt.Sprintf("hChild%d", i))
+				payload, ok := elementText(headSec, "hChild"+strconv.Itoa(i))
 				if !ok {
 					break
 				}

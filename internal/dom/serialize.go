@@ -1,79 +1,131 @@
 package dom
 
-import "strings"
+import (
+	"strings"
+	"sync"
+)
 
 // EscapeAttr escapes an attribute value for double-quoted serialization.
 func EscapeAttr(s string) string {
 	if !strings.ContainsAny(s, `&"<`) {
 		return s
 	}
-	r := strings.NewReplacer("&", "&amp;", `"`, "&quot;", "<", "&lt;")
-	return r.Replace(s)
+	return string(appendEscapeAttr(make([]byte, 0, len(s)+8), s))
 }
+
+// appendEscapeAttr is the single source of truth for the attribute escape
+// set; EscapeAttr wraps it.
+func appendEscapeAttr(b []byte, s string) []byte {
+	if !strings.ContainsAny(s, `&"<`) {
+		return append(b, s...)
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b = append(b, "&amp;"...)
+		case '"':
+			b = append(b, "&quot;"...)
+		case '<':
+			b = append(b, "&lt;"...)
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// serializePool recycles scratch buffers for the string-returning
+// serializers so repeated generation passes do not regrow from zero.
+var serializePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4<<10)
+	return &b
+}}
 
 // OuterHTML serializes n including its own tag.
 func OuterHTML(n *Node) string {
-	var b strings.Builder
-	writeNode(&b, n)
-	return b.String()
+	bp := serializePool.Get().(*[]byte)
+	b := AppendOuterHTML((*bp)[:0], n)
+	s := string(b)
+	*bp = b
+	serializePool.Put(bp)
+	return s
+}
+
+// AppendOuterHTML appends n's serialization (including its own tag) to dst.
+func AppendOuterHTML(dst []byte, n *Node) []byte {
+	return appendNode(dst, n)
 }
 
 // InnerHTML serializes n's children only — the value RCB-Agent extracts for
 // each top-level child of the cloned document and carries inside a CDATA
 // section (paper Figure 4).
 func InnerHTML(n *Node) string {
-	var b strings.Builder
-	for _, c := range n.Children {
-		writeNode(&b, c)
-	}
-	return b.String()
+	bp := serializePool.Get().(*[]byte)
+	b := AppendInnerHTML((*bp)[:0], n)
+	s := string(b)
+	*bp = b
+	serializePool.Put(bp)
+	return s
 }
 
-func writeNode(b *strings.Builder, n *Node) {
+// AppendInnerHTML appends the serialization of n's children to dst.
+func AppendInnerHTML(dst []byte, n *Node) []byte {
+	for _, c := range n.Children {
+		dst = appendNode(dst, c)
+	}
+	return dst
+}
+
+func appendNode(b []byte, n *Node) []byte {
 	switch n.Type {
 	case TextNode:
 		// Text is preserved verbatim: the parser does not decode entities in
 		// character data, so round trips are byte-stable.
-		b.WriteString(n.Data)
+		b = append(b, n.Data...)
 	case CommentNode:
-		b.WriteString("<!--")
-		b.WriteString(n.Data)
-		b.WriteString("-->")
+		b = append(b, "<!--"...)
+		b = append(b, n.Data...)
+		b = append(b, "-->"...)
 	case DoctypeNode:
-		b.WriteString("<!")
-		b.WriteString(n.Data)
-		b.WriteString(">")
+		b = append(b, "<!"...)
+		b = append(b, n.Data...)
+		b = append(b, '>')
 	case ElementNode:
-		b.WriteByte('<')
-		b.WriteString(n.Tag)
+		b = append(b, '<')
+		b = append(b, n.Tag...)
 		for _, a := range n.Attrs {
-			b.WriteByte(' ')
-			b.WriteString(a.Name)
-			b.WriteString(`="`)
-			b.WriteString(EscapeAttr(a.Value))
-			b.WriteByte('"')
+			b = append(b, ' ')
+			b = append(b, a.Name...)
+			b = append(b, `="`...)
+			b = appendEscapeAttr(b, a.Value)
+			b = append(b, '"')
 		}
-		b.WriteByte('>')
+		b = append(b, '>')
 		if voidElements[n.Tag] {
-			return
+			return b
 		}
 		for _, c := range n.Children {
-			writeNode(b, c)
+			b = appendNode(b, c)
 		}
-		b.WriteString("</")
-		b.WriteString(n.Tag)
-		b.WriteByte('>')
+		b = append(b, "</"...)
+		b = append(b, n.Tag...)
+		b = append(b, '>')
 	}
+	return b
 }
 
 // HTML serializes the whole document, including the doctype when present.
 func (d *Document) HTML() string {
-	var b strings.Builder
+	bp := serializePool.Get().(*[]byte)
+	b := (*bp)[:0]
 	if d.Doctype != "" {
-		b.WriteString("<!")
-		b.WriteString(d.Doctype)
-		b.WriteString(">")
+		b = append(b, "<!"...)
+		b = append(b, d.Doctype...)
+		b = append(b, '>')
 	}
-	writeNode(&b, d.Root)
-	return b.String()
+	b = appendNode(b, d.Root)
+	s := string(b)
+	*bp = b
+	serializePool.Put(bp)
+	return s
 }

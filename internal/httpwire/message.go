@@ -209,8 +209,13 @@ func StatusText(code int) string {
 // string into ordered key-value pairs. Duplicate keys are preserved in
 // order, which form co-filling relies on.
 func ParseForm(s string) []FormField {
-	var out []FormField
-	for _, pair := range strings.Split(s, "&") {
+	if s == "" {
+		return nil
+	}
+	out := make([]FormField, 0, strings.Count(s, "&")+1)
+	for s != "" {
+		var pair string
+		pair, s, _ = strings.Cut(s, "&")
 		if pair == "" {
 			continue
 		}
@@ -228,39 +233,44 @@ type FormField struct {
 
 // EncodeForm encodes fields as application/x-www-form-urlencoded.
 func EncodeForm(fields []FormField) string {
-	var b strings.Builder
-	for i, f := range fields {
-		if i > 0 {
-			b.WriteByte('&')
-		}
-		b.WriteString(escapeForm(f.Name))
-		b.WriteByte('=')
-		b.WriteString(escapeForm(f.Value))
-	}
-	return b.String()
+	return string(AppendForm(nil, fields))
 }
 
-func escapeForm(s string) string {
+// AppendForm appends the form encoding of fields to dst — the zero-copy
+// variant polling clients use to build request bodies in place.
+func AppendForm(dst []byte, fields []FormField) []byte {
+	for i, f := range fields {
+		if i > 0 {
+			dst = append(dst, '&')
+		}
+		dst = appendEscapeForm(dst, f.Name)
+		dst = append(dst, '=')
+		dst = appendEscapeForm(dst, f.Value)
+	}
+	return dst
+}
+
+func appendEscapeForm(dst []byte, s string) []byte {
 	const hex = "0123456789ABCDEF"
-	var b strings.Builder
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		switch {
 		case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z', c >= '0' && c <= '9',
 			c == '-', c == '_', c == '.', c == '~':
-			b.WriteByte(c)
+			dst = append(dst, c)
 		case c == ' ':
-			b.WriteByte('+')
+			dst = append(dst, '+')
 		default:
-			b.WriteByte('%')
-			b.WriteByte(hex[c>>4])
-			b.WriteByte(hex[c&0xF])
+			dst = append(dst, '%', hex[c>>4], hex[c&0xF])
 		}
 	}
-	return b.String()
+	return dst
 }
 
 func unescapeForm(s string) string {
+	if !strings.ContainsAny(s, "%+") {
+		return s
+	}
 	var b strings.Builder
 	for i := 0; i < len(s); i++ {
 		switch {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Errors reported by the wire readers.
@@ -191,21 +192,34 @@ func readChunked(r *bufio.Reader) ([]byte, error) {
 	}
 }
 
+// headerBufPool recycles the scratch buffers the writers assemble the
+// request/status line and header block into, so every message on the hot
+// polling path reuses one allocation instead of regrowing a builder.
+var headerBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
 // WriteRequest serializes req to w. Content-Length is set from the body.
 func WriteRequest(w io.Writer, req *Request) error {
-	var b strings.Builder
 	proto := req.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	fmt.Fprintf(&b, "%s %s %s\r\n", req.Method, req.Target, proto)
-	h := req.Header
-	if h == nil {
-		h = Header{}
-	}
-	writeHeaders(&b, h, len(req.Body), req.Method == "POST" || req.Method == "PUT")
-	b.WriteString("\r\n")
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	bp := headerBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, req.Method...)
+	b = append(b, ' ')
+	b = append(b, req.Target...)
+	b = append(b, ' ')
+	b = append(b, proto...)
+	b = append(b, "\r\n"...)
+	b = appendHeaders(b, req.Header, len(req.Body), req.Method == "POST" || req.Method == "PUT")
+	b = append(b, "\r\n"...)
+	_, err := w.Write(b)
+	*bp = b
+	headerBufPool.Put(bp)
+	if err != nil {
 		return err
 	}
 	if len(req.Body) > 0 {
@@ -217,21 +231,28 @@ func WriteRequest(w io.Writer, req *Request) error {
 }
 
 // WriteResponse serializes resp to w. Content-Length is set from the body.
+// The body slice is written as-is — prepared agent content travels from the
+// generation cache to the socket without an intermediate copy.
 func WriteResponse(w io.Writer, resp *Response) error {
-	var b strings.Builder
 	proto := resp.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	fmt.Fprintf(&b, "%s %d %s\r\n", proto, resp.StatusCode, StatusText(resp.StatusCode))
-	h := resp.Header
-	if h == nil {
-		h = Header{}
-	}
+	bp := headerBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, proto...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(resp.StatusCode), 10)
+	b = append(b, ' ')
+	b = append(b, StatusText(resp.StatusCode)...)
+	b = append(b, "\r\n"...)
 	hasBody := resp.StatusCode != 204 && resp.StatusCode != 304 && resp.StatusCode/100 != 1
-	writeHeaders(&b, h, len(resp.Body), hasBody)
-	b.WriteString("\r\n")
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	b = appendHeaders(b, resp.Header, len(resp.Body), hasBody)
+	b = append(b, "\r\n"...)
+	_, err := w.Write(b)
+	*bp = b
+	headerBufPool.Put(bp)
+	if err != nil {
 		return err
 	}
 	if hasBody && len(resp.Body) > 0 {
@@ -242,16 +263,22 @@ func WriteResponse(w io.Writer, resp *Response) error {
 	return nil
 }
 
-func writeHeaders(b *strings.Builder, h Header, bodyLen int, alwaysLength bool) {
+func appendHeaders(b []byte, h Header, bodyLen int, alwaysLength bool) []byte {
 	for _, k := range h.sortedKeys() {
 		if k == "Content-Length" || k == "Transfer-Encoding" {
 			continue // we always frame with an accurate Content-Length
 		}
 		for _, v := range h[k] {
-			fmt.Fprintf(b, "%s: %s\r\n", k, v)
+			b = append(b, k...)
+			b = append(b, ": "...)
+			b = append(b, v...)
+			b = append(b, "\r\n"...)
 		}
 	}
 	if bodyLen > 0 || alwaysLength {
-		fmt.Fprintf(b, "Content-Length: %d\r\n", bodyLen)
+		b = append(b, "Content-Length: "...)
+		b = strconv.AppendInt(b, int64(bodyLen), 10)
+		b = append(b, "\r\n"...)
 	}
+	return b
 }

@@ -37,34 +37,43 @@ const upperhex = "0123456789ABCDEF"
 // of UTF-16 code units, exactly as a JavaScript engine would: code points
 // outside the BMP are encoded as surrogate pairs (%uD8xx%uDCxx).
 func Escape(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
+	return string(AppendEscape(make([]byte, 0, len(s)+len(s)/4), s))
+}
+
+// AppendEscape appends the escape() encoding of s to dst and returns the
+// extended slice — the allocation-free form the agent's message assembly
+// uses to encode payloads directly into an outgoing buffer.
+func AppendEscape(dst []byte, s string) []byte {
 	for _, r := range s {
 		switch {
 		case unreserved(r):
-			b.WriteRune(r)
+			dst = appendRune(dst, r)
 		case r < 0x100:
-			b.WriteByte('%')
-			b.WriteByte(upperhex[r>>4])
-			b.WriteByte(upperhex[r&0xF])
+			dst = append(dst, '%', upperhex[r>>4], upperhex[r&0xF])
 		case r <= 0xFFFF:
-			writeU16(&b, uint16(r))
+			dst = appendU16(dst, uint16(r))
 		default:
 			// Encode as a UTF-16 surrogate pair, mirroring JS semantics.
 			v := uint32(r) - 0x10000
-			writeU16(&b, uint16(0xD800+(v>>10)))
-			writeU16(&b, uint16(0xDC00+(v&0x3FF)))
+			dst = appendU16(dst, uint16(0xD800+(v>>10)))
+			dst = appendU16(dst, uint16(0xDC00+(v&0x3FF)))
 		}
 	}
-	return b.String()
+	return dst
 }
 
-func writeU16(b *strings.Builder, u uint16) {
-	b.WriteString("%u")
-	b.WriteByte(upperhex[u>>12])
-	b.WriteByte(upperhex[(u>>8)&0xF])
-	b.WriteByte(upperhex[(u>>4)&0xF])
-	b.WriteByte(upperhex[u&0xF])
+// appendRune appends the UTF-8 encoding of an unreserved rune. Unreserved
+// code points are all ASCII, so this is a single byte in practice.
+func appendRune(dst []byte, r rune) []byte {
+	if r < 0x80 {
+		return append(dst, byte(r))
+	}
+	return append(dst, string(r)...)
+}
+
+func appendU16(dst []byte, u uint16) []byte {
+	return append(dst, '%', 'u',
+		upperhex[u>>12], upperhex[(u>>8)&0xF], upperhex[(u>>4)&0xF], upperhex[u&0xF])
 }
 
 // Unescape reverses Escape, implementing JavaScript unescape() (ECMA-262
