@@ -8,13 +8,16 @@ build:
 test: build
 	$(GO) test ./...
 
-# Concurrency regression gate: the single-flight and sharded-lock agent
-# paths must stay race-clean.
+# Concurrency regression gate: the single-flight serve path, the sharded
+# agent locks, and the long-poll delivery hub must stay race-clean across
+# every package that drives them.
 race:
-	$(GO) test -race ./internal/core/
+	$(GO) test -race ./...
 
-# Serve-path benchmarks plus the BENCH_fanout.json snapshot future PRs
-# compare against.
+# Serve-path and push-path benchmarks plus the JSON snapshots future PRs
+# compare against: BENCH_fanout.json (serve scaling) and
+# BENCH_delivery.json (interval vs long-poll staleness).
 bench:
-	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice' -benchmem .
+	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice|LongPollFanout' -benchmem .
 	$(GO) run ./cmd/rcb-bench -fanout -out BENCH_fanout.json
+	$(GO) run ./cmd/rcb-bench -delivery -out BENCH_delivery.json

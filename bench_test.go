@@ -61,6 +61,7 @@ func newBenchWorld(b *testing.B, spec sites.SiteSpec) *benchWorld {
 	w := &benchWorld{corpus: corpus, host: host, agent: agent, server: server, snip: snip}
 	b.Cleanup(func() {
 		w.snip.Browser.Close()
+		w.agent.Close() // drain parked long-polls before the server drops connections
 		w.server.Close()
 		w.host.Close()
 		w.corpus.Close()
@@ -336,6 +337,80 @@ func BenchmarkFanoutScale(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkLongPollFanout measures the push path at scale: N participants
+// park hanging-GET polls over the virtual wire, then one host document
+// change wakes them all. The timed region is bump-to-all-applied — the
+// end-to-end fan-out latency of the long-poll channel — and builds/op
+// verifies the single-flight invariant holds on the wake path (1.0 = one
+// BuildContent no matter how many parked polls woke).
+func BenchmarkLongPollFanout(b *testing.B) {
+	spec, _ := sites.SiteByName("google.com")
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("participants-%d", n), func(b *testing.B) {
+			w := newBenchWorld(b, spec)
+			snippets := []*core.Snippet{w.snip}
+			for i := 1; i < n; i++ {
+				name := fmt.Sprintf("lp%d.lan", i)
+				pb := browser.New(name, w.corpus.Network.Dialer(name))
+				b.Cleanup(pb.Close)
+				s := core.NewSnippet(pb, "http://host.lan:3000", "")
+				s.FetchObjects = false
+				if err := s.Join(); err != nil {
+					b.Fatal(err)
+				}
+				snippets = append(snippets, s)
+			}
+			for _, s := range snippets {
+				s.Delivery = core.DeliveryLongPoll
+				s.LongPollWait = 30 * time.Second
+				if _, err := s.PollOnce(); err != nil { // warm onto the current version
+					b.Fatal(err)
+				}
+			}
+			b.Cleanup(w.agent.Close) // drain parked polls left by the last iteration
+
+			builds0 := w.agent.ContentBuilds()
+			tick := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var wg sync.WaitGroup
+				errs := make([]error, len(snippets))
+				for j, s := range snippets {
+					wg.Add(1)
+					go func(j int, s *core.Snippet) {
+						defer wg.Done()
+						updated, err := s.PollOnce()
+						if err == nil && !updated {
+							err = fmt.Errorf("poll %d woke without content", j)
+						}
+						errs[j] = err
+					}(j, s)
+				}
+				for w.agent.ParkedPolls() < n {
+					time.Sleep(50 * time.Microsecond)
+				}
+				tick++
+				b.StartTimer()
+				if err := benchutil.BumpDoc(w.host, tick); err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(w.agent.ContentBuilds()-builds0)/float64(b.N), "builds/op")
+		})
 	}
 }
 

@@ -8,7 +8,8 @@
 //	rcb-bench -table 1             # Table 1
 //	rcb-bench -shapes              # paper-claim shape checks
 //	rcb-bench -ablation -site cnn.com
-//	rcb-bench -fanout -out BENCH_fanout.json   # agent serve-path scaling snapshot
+//	rcb-bench -fanout -out BENCH_fanout.json       # agent serve-path scaling snapshot
+//	rcb-bench -delivery -out BENCH_delivery.json   # interval vs long-poll staleness snapshot
 package main
 
 import (
@@ -26,7 +27,8 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the ablation suite")
 	mobile := flag.Bool("mobile", false, "run the Fennec/N810 mobile experiment (paper §6)")
 	fanout := flag.Bool("fanout", false, "benchmark the agent serve path at 16/64/256 participants")
-	out := flag.String("out", "", "write fanout results as JSON to this file (default stdout; -all defaults to BENCH_fanout.json)")
+	delivery := flag.Bool("delivery", false, "measure interval-poll vs long-poll staleness and request counts")
+	out := flag.String("out", "", "write fanout/delivery results as JSON to this file (default stdout; -all defaults to BENCH_fanout.json)")
 	all := flag.Bool("all", false, "regenerate everything")
 	site := flag.String("site", "google.com", "site for -ablation and -fanout")
 	reps := flag.Int("reps", 3, "repetitions for M5/M6 measurements")
@@ -38,15 +40,25 @@ func main() {
 		}
 		return
 	}
+	if *delivery {
+		if err := writeDelivery(*site, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *all {
 		// -all regenerates every artifact, including the serve-path
-		// scaling snapshot future perf PRs compare against.
+		// scaling and delivery-staleness snapshots future perf PRs
+		// compare against.
 		outPath := *out
 		if outPath == "" {
 			outPath = "BENCH_fanout.json"
 		}
 		defer func() {
 			if err := writeFanout(*site, outPath); err != nil {
+				fatal(err)
+			}
+			if err := writeDelivery(*site, "BENCH_delivery.json"); err != nil {
 				fatal(err)
 			}
 		}()

@@ -63,6 +63,9 @@ func main() {
 		fatal(err)
 	}
 	defer server.Close()
+	// Drain parked long-polls (empty responses) before the server drops
+	// their connections: defers run LIFO, so this precedes server.Close.
+	defer agent.Close()
 	fmt.Printf("RCB-Agent listening on %s — join with: rcb-join -agent http://%s\n", l.Addr(), selfAddr)
 
 	stop := make(chan os.Signal, 1)

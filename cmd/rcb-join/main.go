@@ -7,6 +7,7 @@
 //
 //	rcb-join -agent http://localhost:3000
 //	rcb-join -agent http://host.example:3000 -key secret123 -interval 500ms
+//	rcb-join -agent http://host.example:3000 -longpoll   # hanging-GET push delivery
 package main
 
 import (
@@ -26,7 +27,9 @@ import (
 func main() {
 	agentURL := flag.String("agent", "http://localhost:3000", "RCB-Agent URL (as typed into the address bar)")
 	key := flag.String("key", "", "session secret shared by the host")
-	interval := flag.Duration("interval", time.Second, "polling interval")
+	interval := flag.Duration("interval", time.Second, "polling interval (and long-poll retry backoff)")
+	longpoll := flag.Bool("longpoll", false, "use hanging-GET delivery: the agent parks each poll until content changes")
+	wait := flag.Duration("wait", 0, "max hang per long-poll request (0 = library default)")
 	fetch := flag.Bool("objects", true, "download supplementary objects")
 	flag.Parse()
 
@@ -37,6 +40,10 @@ func main() {
 	snip := core.NewSnippet(b, strings.TrimSuffix(*agentURL, "/"), *key)
 	snip.PollInterval = *interval
 	snip.FetchObjects = *fetch
+	if *longpoll {
+		snip.Delivery = core.DeliveryLongPoll
+		snip.LongPollWait = *wait
+	}
 	snip.OnUserAction = func(a core.Action) {
 		fmt.Printf("  mirror: %s\n", a)
 	}
@@ -45,7 +52,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rcb-join:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("joined %s; polling every %v. Ctrl-C to leave.\n", *agentURL, *interval)
+	if *longpoll {
+		fmt.Printf("joined %s; long-poll delivery (hanging GET). Ctrl-C to leave.\n", *agentURL)
+	} else {
+		fmt.Printf("joined %s; polling every %v. Ctrl-C to leave.\n", *agentURL, *interval)
+	}
 
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)

@@ -50,11 +50,25 @@ const maxOutbox = 256
 // browser. It implements httpwire.Handler; back it with any listener (real
 // TCP in cmd/rcb-host, the virtual network in tests and experiments).
 //
+// # Delivery modes
+//
+// The agent answers polls in two ways. Through ServeWire (plain
+// httpwire.Handler) every poll completes immediately, exactly as §4.1.1
+// specifies — empty response when nothing changed. Through ServeWireAsync
+// (httpwire.AsyncHandler, which httpwire.Server prefers automatically) a
+// poll carrying a wait=<ms> form field that finds nothing new parks on the
+// delivery hub and completes when the host document changes, a mirror
+// action lands in the participant's outbox, the participant is
+// disconnected, or min(wait, MaxPollWait) elapses — the hanging-GET channel
+// that removes the polling interval from the staleness floor. Polls without
+// a wait field behave identically on both paths, so interval-mode snippets
+// (the paper's semantics) are unaffected.
+//
 // Internal state is sharded across independent locks so the serve path
 // scales with participant count: the participant table (read-mostly, an
 // RWMutex plus per-participant locks), the object mapping table, the
-// prepared-content cache, the moderation queue, and the docTime clock each
-// contend only with themselves.
+// prepared-content cache, the moderation queue, the docTime clock, and the
+// long-poll delivery hub each contend only with themselves.
 type Agent struct {
 	// Browser is the host browser whose document is shared.
 	Browser *browser.Browser
@@ -73,6 +87,11 @@ type Agent struct {
 	// is only merged into the host DOM (the host user submits manually, as
 	// Bob does in the shopping study).
 	AutoSubmitForms bool
+	// MaxPollWait caps how long a long-poll may park, whatever the client
+	// requested; zero means DefaultMaxPollWait. A parked poll that reaches
+	// the cap completes with the empty response — the §4.1.1 degradation,
+	// so a long-poll participant is never worse off than an interval one.
+	MaxPollWait time.Duration
 	// Logf, when non-nil, receives diagnostics.
 	Logf func(format string, args ...any)
 
@@ -103,6 +122,10 @@ type Agent struct {
 	// tmu guards the monotonic docTime clock.
 	tmu         sync.Mutex
 	lastDocTime int64
+
+	// hub parks long-polls and wakes them on document changes, outbox
+	// enqueues, and disconnects.
+	hub *deliveryHub
 
 	// builds counts Figure 3 pipeline executions — the observable the
 	// single-flight tests and cache-effectiveness metrics key on.
@@ -168,9 +191,17 @@ func spliceSizeHint(actions []Action) int {
 	return 48 + 96*len(actions)
 }
 
+// DefaultMaxPollWait is the long-poll hang cap when Agent.MaxPollWait is
+// zero. Long enough that an idle session costs a handful of requests per
+// minute; short enough that intermediaries with idle-connection timeouts
+// see regular traffic.
+const DefaultMaxPollWait = 25 * time.Second
+
 // NewAgent returns an agent for the given host browser, reachable at addr.
+// The agent subscribes to the browser's change notifications so parked
+// long-polls wake the moment the host document mutates or navigates.
 func NewAgent(b *browser.Browser, addr string) *Agent {
-	return &Agent{
+	a := &Agent{
 		Browser:      b,
 		Addr:         addr,
 		Policy:       OpenPolicy(),
@@ -179,7 +210,28 @@ func NewAgent(b *browser.Browser, addr string) *Agent {
 		tokens:       make(map[string]string),
 		prepared:     make(map[bool]*PreparedContent),
 		inflight:     make(map[bool]*contentCall),
+		hub:          newDeliveryHub(),
 	}
+	b.OnChange(a.hub.notifyAll)
+	return a
+}
+
+// Close releases the delivery hub: every parked long-poll completes with
+// the empty response and later polls answer immediately, interval-style.
+// The agent remains usable afterwards — Close only retires the push
+// channel, typically just before the enclosing httpwire.Server closes.
+func (a *Agent) Close() { a.hub.close() }
+
+// ParkedPolls reports how many long-polls are currently parked — the
+// observable fan-out tests and benchmarks synchronize on.
+func (a *Agent) ParkedPolls() int { return a.hub.parkedCount() }
+
+// maxPollWait resolves the effective long-poll cap.
+func (a *Agent) maxPollWait() time.Duration {
+	if a.MaxPollWait > 0 {
+		return a.MaxPollWait
+	}
+	return DefaultMaxPollWait
 }
 
 func (a *Agent) logf(format string, args ...any) {
@@ -201,18 +253,28 @@ func (a *Agent) ServeWire(req *httpwire.Request) *httpwire.Response {
 	case req.Method == "GET" && req.Path() == "/":
 		return a.serveInitialPage(req)
 	case req.Method == "POST" && req.Path() == "/poll":
-		if a.Auth != nil && !a.Auth.Verify(req.Method, req.Target, req.Body) {
-			return httpwire.NewResponse(401, "text/plain", []byte("bad hmac\n"))
+		if errResp := a.verifyAuth(req); errResp != nil {
+			return errResp
 		}
 		return a.servePoll(req)
 	case req.Method == "GET":
-		if a.Auth != nil && !a.Auth.Verify(req.Method, req.Target, req.Body) {
-			return httpwire.NewResponse(401, "text/plain", []byte("bad hmac\n"))
+		if errResp := a.verifyAuth(req); errResp != nil {
+			return errResp
 		}
 		return a.serveObject(req)
 	default:
 		return httpwire.NewResponse(405, "text/plain", []byte("method not allowed\n"))
 	}
+}
+
+// verifyAuth runs the §3.4 HMAC check when authentication is on, returning
+// the 401 to send or nil to proceed. Shared by the sync and async serve
+// paths so a future tightening cannot apply to only one of them.
+func (a *Agent) verifyAuth(req *httpwire.Request) *httpwire.Response {
+	if a.Auth != nil && !a.Auth.Verify(req.Method, req.Target, req.Body) {
+		return badHMACResponse
+	}
+	return nil
 }
 
 // serveInitialPage answers a new connection request with the initial HTML
@@ -270,12 +332,90 @@ func (a *Agent) serveObject(req *httpwire.Request) *httpwire.Response {
 	return resp
 }
 
+// ServeWireAsync implements httpwire.AsyncHandler. Polling requests that
+// ask for long-poll delivery (wait=<ms> form field) and find nothing new
+// park on the delivery hub; every other request — and every poll with
+// something to deliver — answers inline. respond is the server's completion
+// callback and may be invoked later from a hub wake-up goroutine.
+func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Response)) {
+	if req.Method != "POST" || req.Path() != "/poll" {
+		respond(a.ServeWire(req))
+		return
+	}
+	if errResp := a.verifyAuth(req); errResp != nil {
+		respond(errResp)
+		return
+	}
+	p, ts, wait, errResp := a.pollSetup(req)
+	if errResp != nil {
+		respond(errResp)
+		return
+	}
+	pid := p.ID
+	for {
+		// Snapshot before the check: park refuses a stale snapshot, so an
+		// event landing between this check and registration forces another
+		// pass instead of being slept through.
+		snap := a.hub.snapshot(pid)
+		resp, hasNew := a.pollResponse(p, ts)
+		if hasNew || wait <= 0 {
+			respond(resp)
+			return
+		}
+		w := &pollWaiter{pid: pid, ts: ts}
+		w.fulfill = func(reply *pollReply) { respond(a.wakePoll(w, reply)) }
+		parked, retry := a.hub.park(w, snap, wait)
+		if parked {
+			return
+		}
+		if !retry {
+			// Hub closed: degrade to the paper's immediate empty response.
+			respond(resp)
+			return
+		}
+	}
+}
+
+// wakePoll completes one parked long-poll after its hub wake-up: a timeout
+// or shutdown degrades to the §4.1.1 empty response; a real notification
+// re-runs the step 2/3 check and delivers whatever is current (the
+// re-check rides the single-flight guard, so N waiters waking on one
+// document change still cost exactly one BuildContent).
+func (a *Agent) wakePoll(w *pollWaiter, reply *pollReply) *httpwire.Response {
+	if reply.timedOut || reply.closed {
+		return emptyPollResponse
+	}
+	p := a.participant(w.pid)
+	if p == nil {
+		// Disconnected while parked: the same answer a live poll would get.
+		return unknownParticipantResponse
+	}
+	resp, _ := a.pollResponse(p, w.ts)
+	return resp
+}
+
 // servePoll handles an Ajax polling request through the three steps of
-// §4.1.1: data merging, timestamp inspection, response sending.
+// §4.1.1: data merging, timestamp inspection, response sending. This is the
+// synchronous flavor: a wait field is ignored and the response — possibly
+// the empty one — is always immediate. The long-poll flavor lives in
+// ServeWireAsync.
 func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
+	p, ts, _, errResp := a.pollSetup(req)
+	if errResp != nil {
+		return errResp
+	}
+	resp, _ := a.pollResponse(p, ts)
+	return resp
+}
+
+// pollSetup parses a polling request and runs steps 1 and 2 of §4.1.1:
+// participant lookup, data merging, and timestamp bookkeeping. It returns
+// the participant, the timestamp it reported, and the requested long-poll
+// hang (0 = answer immediately), or a non-nil error response.
+func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time.Duration, *httpwire.Response) {
 	pid := pidFromRequest(req)
 	fields := httpwire.ParseForm(string(req.Body))
-	var ts int64
+	var ts, waitMS int64
 	var actionPayload string
 	for _, f := range fields {
 		switch f.Name {
@@ -283,6 +423,8 @@ func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
 			ts, _ = strconv.ParseInt(f.Value, 10, 64)
 		case "actions":
 			actionPayload = f.Value
+		case "wait":
+			waitMS, _ = strconv.ParseInt(f.Value, 10, 64)
 		case "pid":
 			if pid == "" {
 				pid = f.Value
@@ -291,13 +433,13 @@ func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
 	}
 	p := a.participant(pid)
 	if p == nil {
-		return httpwire.NewResponse(403, "text/plain", []byte("unknown participant; reconnect\n"))
+		return nil, 0, 0, unknownParticipantResponse
 	}
 
 	// Step 1: data merging.
 	actions, err := DecodeActions(actionPayload)
 	if err != nil {
-		return httpwire.NewResponse(400, "text/plain", []byte("bad action payload\n"))
+		return nil, 0, 0, badActionResponse
 	}
 	for _, act := range actions {
 		act.From = p.ID
@@ -310,6 +452,32 @@ func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
 	p.LastDocTime = ts
 	p.LastSeen = time.Now()
 	p.Polls++
+	p.mu.Unlock()
+
+	wait := time.Duration(waitMS) * time.Millisecond
+	if max := a.maxPollWait(); wait > max {
+		wait = max
+	}
+	if len(actions) > 0 {
+		// A poll that delivered actions is answered immediately, never
+		// parked: the prompt completion is the client's acknowledgment
+		// that its actions were merged. (Our own snippet already strips
+		// the wait field from action-carrying polls; this guards foreign
+		// clients that don't.)
+		wait = 0
+	}
+	return p, ts, wait, nil
+}
+
+// pollResponse runs step 3 of §4.1.1 — response sending — for one
+// participant poll. The prepared message bytes are shared across
+// participants; pending mirror actions are spliced in without re-rendering
+// the document payload, and the no-action fast path reuses the prepared
+// response object as-is. hasNew is false exactly when the response is the
+// shared empty message: the state a long-poll parks on instead of
+// answering.
+func (a *Agent) pollResponse(p *participantState, ts int64) (resp *httpwire.Response, hasNew bool) {
+	p.mu.Lock()
 	mode := p.CacheMode
 	outbox := p.outbox
 	p.outbox = nil
@@ -318,32 +486,38 @@ func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
 	prep, err := a.contentForMode(mode)
 	if err != nil {
 		a.logf("rcb-agent: content generation: %v", err)
-		return httpwire.NewResponse(500, "text/plain", []byte("content generation failed\n"))
+		return httpwire.NewResponse(500, "text/plain", []byte("content generation failed\n")), true
 	}
-
-	// Step 3: response sending. The prepared message bytes are shared
-	// across participants; pending mirror actions are spliced in without
-	// re-rendering the document payload, and the no-action fast path reuses
-	// the prepared response object as-is.
 	if prep != nil && prep.docTime > ts {
 		if len(outbox) == 0 {
-			return prep.resp
+			return prep.resp, true
 		}
-		return httpwire.NewResponse(200, "application/xml", prep.WithUserActions(outbox))
+		return httpwire.NewResponse(200, "application/xml", prep.WithUserActions(outbox)), true
 	}
 	if len(outbox) > 0 {
 		nc := &NewContent{DocTime: ts, UserActions: outbox}
-		return httpwire.NewResponse(200, "application/xml", nc.Marshal())
+		return httpwire.NewResponse(200, "application/xml", nc.Marshal()), true
 	}
 	// "If no new content needs to be sent back, RCB-Agent sends a response
 	// with empty content ... to avoid hanging requests." All empty polls
 	// share one immutable response object.
-	return emptyPollResponse
+	return emptyPollResponse, false
 }
 
-// emptyPollResponse answers every no-new-content poll. It is shared and
-// must never be mutated by a caller.
-var emptyPollResponse = httpwire.NewResponse(200, "application/xml", nil)
+// Shared immutable responses for the poll hot path; they must never be
+// mutated by a caller.
+var (
+	// emptyPollResponse answers every no-new-content poll.
+	emptyPollResponse = httpwire.NewResponse(200, "application/xml", nil)
+	// unknownParticipantResponse answers polls from unregistered (or
+	// disconnected) participants.
+	unknownParticipantResponse = httpwire.NewResponse(403, "text/plain", []byte("unknown participant; reconnect\n"))
+	// badActionResponse answers polls whose piggybacked actions fail to
+	// decode.
+	badActionResponse = httpwire.NewResponse(400, "text/plain", []byte("bad action payload\n"))
+	// badHMACResponse answers requests that fail §3.4 authentication.
+	badHMACResponse = httpwire.NewResponse(401, "text/plain", []byte("bad hmac\n"))
+)
 
 // pidFromRequest extracts the rcbpid cookie, scanning the header in place —
 // no per-poll slice allocation.
@@ -395,11 +569,15 @@ func (a *Agent) SetParticipantMode(pid string, cacheMode bool) error {
 	return nil
 }
 
-// Disconnect removes a participant (leave at any time, §3.3).
+// Disconnect removes a participant (leave at any time, §3.3). A long-poll
+// the participant has parked wakes immediately and completes with the same
+// 403 a live poll from an unknown participant gets, so the client learns of
+// the disconnect without waiting out the hang.
 func (a *Agent) Disconnect(pid string) {
 	a.pmu.Lock()
 	delete(a.participants, pid)
 	a.pmu.Unlock()
+	a.hub.notifyPID(pid)
 }
 
 // ContentBuilds reports how many times the Figure 3 pipeline has executed —
@@ -693,7 +871,9 @@ func (a *Agent) applyClick(act Action) error {
 
 // Broadcast queues an action for delivery to every participant except its
 // originator — pointer mirroring (paper step 9). The participant table is
-// only read-locked; each outbox append takes that participant's own lock.
+// only read-locked; each outbox append takes that participant's own lock,
+// then wakes any long-poll that participant has parked so mirror actions
+// push out immediately instead of riding the next interval.
 func (a *Agent) Broadcast(act Action) {
 	a.pmu.RLock()
 	defer a.pmu.RUnlock()
@@ -707,6 +887,7 @@ func (a *Agent) Broadcast(act Action) {
 			p.outbox = p.outbox[len(p.outbox)-maxOutbox:]
 		}
 		p.mu.Unlock()
+		a.hub.notifyPID(p.ID)
 	}
 }
 

@@ -1,0 +1,199 @@
+package core
+
+// Long-poll delivery: the version-notification hub behind RCB-Agent's
+// hanging-GET channel.
+//
+// The paper's protocol answers every polling request immediately — "if no
+// new content needs to be sent back, RCB-Agent sends a response with empty
+// content ... to avoid hanging requests" (§4.1.1) — which makes the polling
+// interval the staleness floor. The hub inverts that trade: a poll that
+// finds nothing new may park (httpwire.AsyncHandler) until the host
+// document changes, a mirror action lands in the participant's outbox, the
+// participant is disconnected, or a configurable maximum hang elapses —
+// whichever comes first. Timeouts degrade exactly to the paper's empty
+// response, so a long-poll client is never worse off than an interval one.
+//
+// Correctness hinges on closing the check-then-park window: between a
+// poll's "nothing new" check and its registration, a document change or
+// broadcast could slip by and the waiter would sleep through its own
+// wake-up. The hub therefore keeps monotonic notification counters (one
+// global, one per participant); a poll snapshots them before its final
+// check and park refuses registration when either counter moved, forcing
+// the caller to re-check.
+
+import (
+	"sync"
+	"time"
+)
+
+// pollWaiter is one parked polling request: the participant it belongs to,
+// the timestamp it reported, and the responder that completes the hanging
+// HTTP exchange. Ownership of the response is decided by hub-map presence:
+// whoever removes the waiter from the hub (notify, timeout, or close) must
+// respond, and nobody else may.
+type pollWaiter struct {
+	pid     string
+	ts      int64
+	fulfill func(reply *pollReply)
+	timer   *time.Timer
+}
+
+// pollReply tells a woken waiter why it woke, so the fulfiller can choose
+// between re-running the content check and degrading to a fixed response.
+type pollReply struct {
+	timedOut bool
+	closed   bool
+}
+
+// hubSnapshot is the pair of notification counters a poll observed before
+// its final no-new-content check.
+type hubSnapshot struct {
+	global uint64
+	pid    uint64
+}
+
+// deliveryHub tracks parked long-polls and the notification counters that
+// close the check-then-park race. All methods are safe for concurrent use.
+type deliveryHub struct {
+	mu     sync.Mutex
+	closed bool
+	global uint64
+	// pidSeqs holds per-participant notification counters. Entries are
+	// kept after disconnect (a few bytes per participant ever seen) so a
+	// racing park cannot mistake a reset counter for "no event".
+	pidSeqs map[string]uint64
+	parked  map[string][]*pollWaiter
+	count   int
+}
+
+func newDeliveryHub() *deliveryHub {
+	return &deliveryHub{
+		pidSeqs: make(map[string]uint64),
+		parked:  make(map[string][]*pollWaiter),
+	}
+}
+
+// snapshot records the counters for pid ahead of a no-new-content check.
+func (h *deliveryHub) snapshot(pid string) hubSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return hubSnapshot{global: h.global, pid: h.pidSeqs[pid]}
+}
+
+// park registers w unless an event arrived after snap was taken. It returns
+// (parked, retry): (true, _) means w is registered and its owner will
+// respond later; (false, true) means an event slipped in and the caller
+// must re-run its content check; (false, false) means the hub is closed and
+// the caller should answer immediately, interval-style.
+func (h *deliveryHub) park(w *pollWaiter, snap hubSnapshot, maxWait time.Duration) (parked, retry bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return false, false
+	}
+	if h.global != snap.global || h.pidSeqs[w.pid] != snap.pid {
+		return false, true
+	}
+	h.parked[w.pid] = append(h.parked[w.pid], w)
+	h.count++
+	// The timeout path claims the waiter through the same remove() token
+	// as every other wake, so a racing notify and timer fire resolve to
+	// exactly one response. AfterFunc's callback cannot run before this
+	// assignment is visible: it immediately contends on h.mu, which we
+	// hold until park returns.
+	w.timer = time.AfterFunc(maxWait, func() {
+		if h.remove(w) {
+			w.fulfill(&pollReply{timedOut: true})
+		}
+	})
+	return true, false
+}
+
+// remove unregisters w, reporting whether the caller won ownership of the
+// response (exactly one remover does).
+func (h *deliveryHub) remove(w *pollWaiter) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	list := h.parked[w.pid]
+	for i, x := range list {
+		if x != w {
+			continue
+		}
+		list[i] = list[len(list)-1]
+		list[len(list)-1] = nil
+		if len(list) == 1 {
+			delete(h.parked, w.pid)
+		} else {
+			h.parked[w.pid] = list[:len(list)-1]
+		}
+		h.count--
+		return true
+	}
+	return false
+}
+
+// parkedCount reports how many polls are currently parked.
+func (h *deliveryHub) parkedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// notifyAll wakes every parked waiter — a new document version exists (or
+// is about to: the waiters' re-check runs the single-flight generation, so
+// N wakes still cost one BuildContent). Each waiter is fulfilled on its own
+// goroutine; the notifier (typically the host browser's mutation path)
+// never blocks on content generation or socket writes.
+func (h *deliveryHub) notifyAll() {
+	h.mu.Lock()
+	h.global++
+	var woken []*pollWaiter
+	for pid, list := range h.parked {
+		woken = append(woken, list...)
+		delete(h.parked, pid)
+	}
+	h.count = 0
+	h.mu.Unlock()
+	for _, w := range woken {
+		w.timer.Stop()
+		go w.fulfill(&pollReply{})
+	}
+}
+
+// notifyPID wakes the waiters of one participant — a mirror action landed
+// in its outbox, or it was disconnected.
+func (h *deliveryHub) notifyPID(pid string) {
+	h.mu.Lock()
+	h.pidSeqs[pid]++
+	list := h.parked[pid]
+	delete(h.parked, pid)
+	h.count -= len(list)
+	h.mu.Unlock()
+	for _, w := range list {
+		w.timer.Stop()
+		go w.fulfill(&pollReply{})
+	}
+}
+
+// close wakes everything with the shutdown reply and refuses future parks.
+// Polls arriving afterwards are answered immediately, interval-style, so a
+// closed agent still speaks the paper's protocol.
+func (h *deliveryHub) close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	var woken []*pollWaiter
+	for pid, list := range h.parked {
+		woken = append(woken, list...)
+		delete(h.parked, pid)
+	}
+	h.count = 0
+	h.mu.Unlock()
+	for _, w := range woken {
+		w.timer.Stop()
+		w.fulfill(&pollReply{closed: true})
+	}
+}

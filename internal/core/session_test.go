@@ -43,6 +43,7 @@ func newWorld(t *testing.T, configure func(*Agent)) *world {
 	server := &httpwire.Server{Handler: agent}
 	server.Start(l)
 	t.Cleanup(server.Close)
+	t.Cleanup(agent.Close) // runs before server.Close: drain parked long-polls first
 	return &world{corpus: corpus, host: host, agent: agent, server: server}
 }
 

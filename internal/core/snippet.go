@@ -22,10 +22,56 @@ type SnippetStats struct {
 	ObjectsFromAgent int64
 }
 
+// DeliveryMode selects how a snippet paces its polling requests.
+type DeliveryMode int
+
+const (
+	// DeliveryInterval is the paper's fixed-interval poll (§4.2.1): sleep
+	// PollInterval between requests, accept a mean staleness of half the
+	// interval. This is the default and the fallback every other mode
+	// degrades to.
+	DeliveryInterval DeliveryMode = iota
+	// DeliveryLongPoll is the hanging-GET (Comet) channel: each request
+	// carries a wait field asking the agent to park it until new content
+	// exists, and Run re-issues the next request immediately after a
+	// response arrives. Staleness drops to the transfer time; an idle
+	// session costs one request per LongPollWait instead of one per
+	// PollInterval. Action piggybacking and requeue-on-failure work
+	// exactly as in interval mode.
+	DeliveryLongPoll
+)
+
+// DefaultLongPollWait is the per-request hang a long-poll snippet asks for
+// when LongPollWait is zero. Kept under the agent-side DefaultMaxPollWait
+// so the request completes at the client's horizon, not the server's cap.
+const DefaultLongPollWait = 20 * time.Second
+
+// longPollReadSlack pads the client-side read deadline past the requested
+// hang: the deadline is a safety net against a dead agent, not a second
+// pacing mechanism, so it must never fire before a healthy agent's timeout
+// response arrives.
+const longPollReadSlack = 10 * time.Second
+
+// parkDeniedThreshold separates "the agent refused to park this request"
+// (empty answer at round-trip speed; Run must pace itself) from "the agent
+// parked it and the hang elapsed" (empty answer at hang scale; re-issue
+// immediately). Comfortably above the WAN round trips the experiments
+// model, comfortably below any sensible hang.
+const parkDeniedThreshold = 100 * time.Millisecond
+
 // Snippet is the participant-side Ajax-Snippet: the polling loop and
 // content application procedure a participant browser's JavaScript runs
 // (paper §4.2), reproduced as a Go state machine driving a participant
 // browser model. One Snippet serves one participant.
+//
+// # Delivery modes
+//
+// By default the snippet reproduces the paper exactly: Run sleeps
+// PollInterval between polls and every request completes immediately
+// (DeliveryInterval). Setting Delivery to DeliveryLongPoll turns the same
+// request/response channel into a push path — see DeliveryMode. PollOnce
+// honors the mode either way, so harnesses that drive polls manually get
+// long-poll semantics just by setting the field.
 type Snippet struct {
 	// Browser is the participant browser model.
 	Browser *browser.Browser
@@ -34,9 +80,17 @@ type Snippet struct {
 	AgentURL string
 	// Key is the out-of-band session secret; empty disables HMAC signing.
 	Key string
-	// PollInterval is the delay between polls when Run drives the loop.
-	// The paper's experiments use one second.
+	// PollInterval is the delay between polls when Run drives the loop in
+	// interval mode, and the retry backoff after a failed poll in long-poll
+	// mode. The paper's experiments use one second.
 	PollInterval time.Duration
+	// Delivery selects interval polling (default, paper semantics) or the
+	// hanging-GET long-poll channel.
+	Delivery DeliveryMode
+	// LongPollWait is the maximum hang requested per long-poll request;
+	// zero means DefaultLongPollWait. The agent may cap it further
+	// (Agent.MaxPollWait). Ignored in interval mode.
+	LongPollWait time.Duration
 	// FetchObjects controls whether supplementary objects are downloaded
 	// after a content update (on by default; the experiment harness turns
 	// it off when it wants to time M6 in isolation).
@@ -60,6 +114,11 @@ type Snippet struct {
 	stats       SnippetStats
 	lastObjects []browser.ObjectFetch
 	memo        ApplyMemo
+	// parkDenied records that the most recent poll asked the agent to park
+	// it and was answered instantly empty — the push channel is gone
+	// (Agent.Close), so Run must pace itself instead of re-issuing at
+	// network speed.
+	parkDenied bool
 }
 
 // NewSnippet returns a snippet for a participant browser joining agentURL.
@@ -192,8 +251,34 @@ func (s *Snippet) rcbPathOf(domID, wantTag string) (string, error) {
 	return path, err
 }
 
+// lastParkDenied reports whether the most recent poll asked to park and was
+// refused (answered instantly empty). Run falls back to interval pacing
+// when it holds, so a long-poll loop cannot spin at network speed against
+// an agent whose push channel has been closed but whose server still
+// serves.
+func (s *Snippet) lastParkDenied() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parkDenied
+}
+
+// longPollWait resolves the hang to request per poll: 0 in interval mode.
+func (s *Snippet) longPollWait() time.Duration {
+	if s.Delivery != DeliveryLongPoll {
+		return 0
+	}
+	if s.LongPollWait > 0 {
+		return s.LongPollWait
+	}
+	return DefaultLongPollWait
+}
+
 // PollOnce sends one Ajax polling request and processes the response per
-// Figure 5. It reports whether new document content was applied.
+// Figure 5. It reports whether new document content was applied. In
+// long-poll mode the request asks the agent to park it (wait field), so the
+// call may block for up to LongPollWait before returning an empty result;
+// the connection carries a read deadline slightly past that hang so a dead
+// agent cannot park the snippet forever.
 func (s *Snippet) PollOnce() (updated bool, err error) {
 	s.mu.Lock()
 	ts := s.docTime
@@ -201,11 +286,28 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	s.queue = nil
 	s.stats.Polls++
 	s.stats.ActionsSent += int64(len(actions))
+	s.parkDenied = false
 	s.mu.Unlock()
 
 	fields := []httpwire.FormField{{Name: "ts", Value: strconv.FormatInt(ts, 10)}}
 	if len(actions) > 0 {
 		fields = append(fields, httpwire.FormField{Name: "actions", Value: EncodeActions(actions)})
+	}
+	wait := s.longPollWait()
+	if wait > 0 && len(actions) > 0 {
+		// An action-carrying request never parks: the agent merges actions
+		// before deciding to park, so a parked exchange that later fails
+		// (server shutdown, dropped link, tripped read deadline) would
+		// requeue and replay actions the host already applied. Asking for
+		// an immediate answer keeps the merged-but-unanswered window at
+		// round-trip scale, as in interval mode; the next poll, action-
+		// free, parks as usual.
+		wait = 0
+	}
+	var readTimeout time.Duration
+	if wait > 0 {
+		fields = append(fields, httpwire.FormField{Name: "wait", Value: strconv.FormatInt(wait.Milliseconds(), 10)})
+		readTimeout = wait + longPollReadSlack
 	}
 	body := httpwire.AppendForm(make([]byte, 0, 64), fields)
 	target := "/poll"
@@ -225,7 +327,8 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 		req.Header.Set("Cookie", c)
 	}
 	req.Body = body
-	resp, err := s.Browser.Client.Do(addr, req)
+	pollStart := time.Now()
+	resp, err := s.Browser.Client.DoTimeout(addr, req, readTimeout)
 	if err != nil {
 		// Failed polls requeue their actions so interaction is not lost on
 		// a transient drop.
@@ -241,8 +344,16 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	// content, Ajax-Snippet simply ... send[s] a new polling request after a
 	// specified time interval."
 	if len(resp.Body) == 0 {
+		// An empty answer at round-trip speed to a request that asked to
+		// park means the agent refused to park it (hub closed): a genuine
+		// hang that timed out empty arrives at ~the server's cap, and a
+		// real wake always carries content or actions. An agent whose cap
+		// is under the threshold reads as refusing too — the resulting
+		// interval pacing is the right degradation there as well.
+		denied := wait > 0 && time.Since(pollStart) < parkDeniedThreshold
 		s.mu.Lock()
 		s.stats.EmptyPolls++
+		s.parkDenied = denied
 		s.mu.Unlock()
 		return false, nil
 	}
@@ -485,12 +596,17 @@ func attrsEqual(a, b []dom.Attr) bool {
 	return true
 }
 
-// Run drives the polling loop until stop is closed, sleeping PollInterval
-// between polls (paper: "The first Ajax request is sent after the initial
-// HTML page is loaded ... each following Ajax request is triggered after
-// the response to the previous one is received"). Errors are delivered to
-// errf when non-nil and the loop continues — a dropped poll must not end
-// the session.
+// Run drives the polling loop until stop is closed (paper: "The first Ajax
+// request is sent after the initial HTML page is loaded ... each following
+// Ajax request is triggered after the response to the previous one is
+// received"). In interval mode (default) the loop sleeps PollInterval
+// between polls; in long-poll mode it re-issues the next request
+// immediately — the agent provides the pacing by parking the request — and
+// falls back to a PollInterval sleep only after a failed poll, so a
+// crashed agent is retried at the interval rate instead of hot-looped.
+// Errors are delivered to errf when non-nil and the loop continues — a
+// dropped poll must not end the session (its piggybacked actions are
+// requeued by PollOnce).
 func (s *Snippet) Run(stop <-chan struct{}, errf func(error)) {
 	interval := s.PollInterval
 	if interval <= 0 {
@@ -504,9 +620,25 @@ func (s *Snippet) Run(stop <-chan struct{}, errf func(error)) {
 			return
 		case <-timer.C:
 		}
-		if _, err := s.PollOnce(); err != nil && errf != nil {
+		_, err := s.PollOnce()
+		if err != nil && errf != nil {
 			errf(err)
 		}
-		timer.Reset(interval)
+		delay := interval
+		if err == nil && s.Delivery == DeliveryLongPoll && !s.lastParkDenied() {
+			delay = 0 // hanging GET completed; re-park immediately
+		}
+		// Stop-and-drain before Reset: a poll can take arbitrarily long (a
+		// parked long-poll, a slow WAN transfer), and Reset on a timer that
+		// might have a pending fire is how loops double-poll or strand a
+		// timer goroutine. The select above consumed one fire; Stop plus a
+		// non-blocking drain makes the Reset safe on every path.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(delay)
 	}
 }

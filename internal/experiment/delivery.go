@@ -1,0 +1,177 @@
+package experiment
+
+// Delivery-mode ablation: interval polling (the paper's §3.2.3 choice)
+// against the hanging-GET long-poll channel, measured over the real stack —
+// live agent, wire server, snippet Run loop — rather than the analytic link
+// model. Where SweepPollInterval computes the staleness floor of the poll
+// model, MeasureDelivery demonstrates it and shows long-poll dropping below
+// it: the participant sees a host change after transfer time, not after
+// interval/2, while idle request traffic falls from one poll per interval
+// to one per max-hang.
+
+import (
+	"fmt"
+	"time"
+
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/dom"
+	"rcb/internal/httpwire"
+	"rcb/internal/sites"
+)
+
+// DeliveryResult is one measured delivery-mode run.
+type DeliveryResult struct {
+	Mode string `json:"mode"` // "interval" or "longpoll"
+	// Interval is the snippet's PollInterval (pacing in interval mode,
+	// retry backoff in long-poll mode).
+	Interval time.Duration `json:"interval_ns"`
+	// Wait is the per-request hang requested in long-poll mode (0 for
+	// interval mode).
+	Wait    time.Duration `json:"wait_ns"`
+	Changes int           `json:"changes"`
+	// MeanStaleness and MaxStaleness measure host-change-to-participant-
+	// applied latency across the changes.
+	MeanStaleness time.Duration `json:"mean_staleness_ns"`
+	MaxStaleness  time.Duration `json:"max_staleness_ns"`
+	// Polls counts every polling request the snippet issued during the
+	// run; IdlePolls counts just those issued during the trailing idle
+	// window, the keep-alive overhead of the mode.
+	Polls      int64         `json:"polls"`
+	IdlePolls  int64         `json:"idle_polls"`
+	IdleWindow time.Duration `json:"idle_window_ns"`
+	// Builds counts Figure 3 pipeline runs — with single-flight delivery
+	// this stays at one per change regardless of participant count.
+	Builds   int64         `json:"builds"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// DeliveryOptions shapes one MeasureDelivery run.
+type DeliveryOptions struct {
+	// Interval is the snippet poll interval (interval mode pacing).
+	Interval time.Duration
+	// Wait is the long-poll hang per request (long-poll mode only).
+	Wait time.Duration
+	// Changes is how many host document changes to measure.
+	Changes int
+	// Gap is the settle time before each change.
+	Gap time.Duration
+	// Idle, when positive, holds the session idle after the last change
+	// and counts the polls issued in that window.
+	Idle time.Duration
+}
+
+// MeasureDelivery runs one co-browsing session over the virtual network in
+// the given delivery mode, applies a series of host document changes, and
+// measures how stale each change was by the time the participant applied
+// it, plus the request traffic the mode cost.
+func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOptions) (*DeliveryResult, error) {
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		return nil, err
+	}
+	defer corpus.Close()
+	host := browser.New("host.lan", corpus.Network.Dialer("host.lan"))
+	defer host.Close()
+	agent := core.NewAgent(host, "host.lan:3000")
+	defer agent.Close()
+	l, err := corpus.Network.Listen("host.lan:3000")
+	if err != nil {
+		return nil, err
+	}
+	server := &httpwire.Server{Handler: agent}
+	server.Start(l)
+	defer server.Close()
+	if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
+		return nil, err
+	}
+
+	pb := browser.New("alice.lan", corpus.Network.Dialer("alice.lan"))
+	defer pb.Close()
+	snip := core.NewSnippet(pb, "http://host.lan:3000", "")
+	snip.FetchObjects = false
+	snip.PollInterval = opt.Interval
+	snip.Delivery = mode
+	snip.LongPollWait = opt.Wait
+	if err := snip.Join(); err != nil {
+		return nil, err
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go snip.Run(stop, nil)
+
+	label := "interval"
+	if mode == core.DeliveryLongPoll {
+		label = "longpoll"
+	}
+	res := &DeliveryResult{
+		Mode:       label,
+		Interval:   opt.Interval,
+		Wait:       opt.Wait,
+		Changes:    opt.Changes,
+		IdleWindow: opt.Idle,
+	}
+	start := time.Now()
+	for i := 0; i < opt.Changes; i++ {
+		// Settle: in long-poll mode wait until the snippet has re-parked,
+		// so the change exercises the push path; in interval mode add a
+		// varying phase offset so changes sample the whole poll cycle
+		// uniformly instead of locking to it.
+		if mode == core.DeliveryLongPoll {
+			if err := waitCond(10*time.Second, func() bool { return agent.ParkedPolls() == 1 }); err != nil {
+				return nil, fmt.Errorf("experiment: change %d: %w", i, err)
+			}
+			time.Sleep(opt.Gap)
+		} else {
+			time.Sleep(opt.Gap + time.Duration(i)*opt.Interval/time.Duration(max(opt.Changes, 1)))
+		}
+
+		before := snip.Stats().ContentPolls
+		t0 := time.Now()
+		if err := bumpHostDoc(host, i); err != nil {
+			return nil, err
+		}
+		if err := waitCond(30*time.Second, func() bool { return snip.Stats().ContentPolls > before }); err != nil {
+			return nil, fmt.Errorf("experiment: change %d never reached the participant: %w", i, err)
+		}
+		staleness := time.Since(t0)
+		res.MeanStaleness += staleness
+		if staleness > res.MaxStaleness {
+			res.MaxStaleness = staleness
+		}
+	}
+	if opt.Changes > 0 {
+		res.MeanStaleness /= time.Duration(opt.Changes)
+	}
+	if opt.Idle > 0 {
+		idleStart := snip.Stats().Polls
+		time.Sleep(opt.Idle)
+		res.IdlePolls = snip.Stats().Polls - idleStart
+	}
+	res.Duration = time.Since(start)
+	res.Polls = snip.Stats().Polls
+	res.Builds = agent.ContentBuilds()
+	return res, nil
+}
+
+// bumpHostDoc applies the canonical ablation mutation: one body attribute
+// write that advances the host document version.
+func bumpHostDoc(host *browser.Browser, tick int) error {
+	return host.ApplyMutation(func(doc *dom.Document) error {
+		doc.Body().SetAttr("data-delivery-tick", fmt.Sprint(tick))
+		return nil
+	})
+}
+
+// waitCond polls cond every 200µs until it holds or the deadline passes.
+func waitCond(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not reached within %v", timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"rcb/internal/core"
+	"rcb/internal/sites"
+)
+
+// TestMeasureDeliveryStaleness runs the delivery ablation at a compressed
+// scale and checks its headline claims: long-poll staleness lands well
+// under the interval-poll floor, and idle traffic drops to (at most) one
+// request per hang instead of one per interval. Bounds are generous —
+// this is a correctness check of the ablation, not a benchmark.
+func TestMeasureDeliveryStaleness(t *testing.T) {
+	spec, ok := sites.SiteByName("google.com")
+	if !ok {
+		t.Fatal("no google.com site spec")
+	}
+	const interval = 150 * time.Millisecond
+	const idle = 450 * time.Millisecond
+
+	intervalRes, err := MeasureDelivery(spec, core.DeliveryInterval, DeliveryOptions{
+		Interval: interval,
+		Changes:  3,
+		Gap:      30 * time.Millisecond,
+		Idle:     idle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	longpollRes, err := MeasureDelivery(spec, core.DeliveryLongPoll, DeliveryOptions{
+		Interval: interval,
+		Wait:     5 * time.Second,
+		Changes:  3,
+		Gap:      30 * time.Millisecond,
+		Idle:     idle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("interval: mean=%v max=%v polls=%d idle=%d", intervalRes.MeanStaleness,
+		intervalRes.MaxStaleness, intervalRes.Polls, intervalRes.IdlePolls)
+	t.Logf("longpoll: mean=%v max=%v polls=%d idle=%d", longpollRes.MeanStaleness,
+		longpollRes.MaxStaleness, longpollRes.Polls, longpollRes.IdlePolls)
+
+	// Long-poll delivers on transfer time; even under heavy parallel test
+	// load it must land well under the interval floor.
+	if longpollRes.MeanStaleness >= interval/2 {
+		t.Errorf("long-poll mean staleness %v is not under the interval/2 floor (%v)",
+			longpollRes.MeanStaleness, interval/2)
+	}
+	if longpollRes.MeanStaleness >= intervalRes.MeanStaleness {
+		t.Errorf("long-poll staleness %v not better than interval %v",
+			longpollRes.MeanStaleness, intervalRes.MeanStaleness)
+	}
+	// Idle traffic: interval mode keeps polling every interval; a 5s hang
+	// issues at most one request in a 450ms idle window.
+	if intervalRes.IdlePolls < 2 {
+		t.Errorf("interval mode issued %d idle polls in %v, want >= 2", intervalRes.IdlePolls, idle)
+	}
+	if longpollRes.IdlePolls > 1 {
+		t.Errorf("long-poll mode issued %d idle polls in %v, want <= 1", longpollRes.IdlePolls, idle)
+	}
+	// Every change is one single-flight build on the wake path.
+	if longpollRes.Builds < int64(longpollRes.Changes) {
+		t.Errorf("long-poll run recorded %d builds for %d changes", longpollRes.Builds, longpollRes.Changes)
+	}
+}

@@ -1,0 +1,247 @@
+package httpwire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parkingHandler implements AsyncHandler: requests whose path is /park are
+// held until Release (or forever, if never released); everything else
+// echoes synchronously through the async callback.
+type parkingHandler struct {
+	mu     sync.Mutex
+	parked []func(*Response)
+}
+
+func (h *parkingHandler) ServeWire(req *Request) *Response { return echoHandler(req) }
+
+func (h *parkingHandler) ServeWireAsync(req *Request, respond func(*Response)) {
+	if req.Path() == "/park" {
+		h.mu.Lock()
+		h.parked = append(h.parked, respond)
+		h.mu.Unlock()
+		return
+	}
+	respond(echoHandler(req))
+}
+
+// Release completes every parked request with the given response and
+// reports how many there were.
+func (h *parkingHandler) Release(resp *Response) int {
+	h.mu.Lock()
+	parked := h.parked
+	h.parked = nil
+	h.mu.Unlock()
+	for _, respond := range parked {
+		respond(resp)
+	}
+	return len(parked)
+}
+
+func (h *parkingHandler) parkedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.parked)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestAsyncHandlerSynchronous checks that an AsyncHandler answering inline
+// behaves exactly like a plain Handler, including keep-alive reuse.
+func TestAsyncHandlerSynchronous(t *testing.T) {
+	addr, _ := startTestServer(t, &parkingHandler{})
+	c := NewClient(tcpDialer)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := c.Get(addr, "/hello")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 || string(resp.Body) != "GET /hello body=" {
+			t.Fatalf("resp = %d %q", resp.StatusCode, resp.Body)
+		}
+	}
+}
+
+// TestAsyncHandlerParkedCompletesLater parks a request, completes it from
+// another goroutine, and checks the client sees the late response and that
+// the connection remains usable for the next request.
+func TestAsyncHandlerParkedCompletesLater(t *testing.T) {
+	h := &parkingHandler{}
+	addr, _ := startTestServer(t, h)
+	c := NewClient(tcpDialer)
+	defer c.Close()
+
+	type result struct {
+		resp *Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := c.Get(addr, "/park")
+		done <- result{resp, err}
+	}()
+	waitFor(t, "request to park", func() bool { return h.parkedCount() == 1 })
+	select {
+	case r := <-done:
+		t.Fatalf("parked request completed early: %+v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if n := h.Release(NewResponse(200, "text/plain", []byte("woken"))); n != 1 {
+		t.Fatalf("released %d parked requests, want 1", n)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.resp.StatusCode != 200 || string(r.resp.Body) != "woken" {
+		t.Fatalf("late response = %d %q", r.resp.StatusCode, r.resp.Body)
+	}
+	// The connection must still carry ordinary requests afterwards.
+	resp, err := c.Get(addr, "/after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "GET /after body=" {
+		t.Fatalf("follow-up = %q", resp.Body)
+	}
+}
+
+// TestAsyncRespondTwiceIgnored checks that a handler calling respond more
+// than once delivers the first response and drops the rest.
+func TestAsyncRespondTwiceIgnored(t *testing.T) {
+	h := &parkingHandler{}
+	addr, _ := startTestServer(t, h)
+	c := NewClient(tcpDialer)
+	defer c.Close()
+
+	done := make(chan *Response, 1)
+	go func() {
+		resp, err := c.Get(addr, "/park")
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- resp
+	}()
+	waitFor(t, "request to park", func() bool { return h.parkedCount() == 1 })
+	h.mu.Lock()
+	respond := h.parked[0]
+	h.parked = nil
+	h.mu.Unlock()
+	respond(NewResponse(200, "text/plain", []byte("first")))
+	respond(NewResponse(200, "text/plain", []byte("second")))
+	resp := <-done
+	if resp == nil {
+		t.FailNow()
+	}
+	if string(resp.Body) != "first" {
+		t.Fatalf("got %q, want the first response", resp.Body)
+	}
+	// The connection serves the next request normally (the duplicate did
+	// not get written as a phantom second response).
+	after, err := c.Get(addr, "/next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after.Body) != "GET /next body=" {
+		t.Fatalf("follow-up = %q", after.Body)
+	}
+}
+
+// TestServerCloseAbandonsParked checks the drain path: Close must return
+// promptly with a request still parked, and the abandoned client sees a
+// transport error, not a hang.
+func TestServerCloseAbandonsParked(t *testing.T) {
+	h := &parkingHandler{}
+	addr, srv := startTestServer(t, h)
+	c := NewClient(tcpDialer)
+	defer c.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Get(addr, "/park")
+		errCh <- err
+	}()
+	waitFor(t, "request to park", func() bool { return h.parkedCount() == 1 })
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung on a parked request")
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("abandoned client got a response, want a transport error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned client still waiting after Close")
+	}
+	// The handler's late respond call must be a harmless no-op.
+	h.Release(NewResponse(200, "text/plain", []byte("too late")))
+}
+
+// TestClientReadTimeout checks the long-poll safety net: a server that
+// never responds trips the per-call read deadline with a net.Error timeout,
+// and the timeout is not retried on a second connection.
+func TestClientReadTimeout(t *testing.T) {
+	h := &parkingHandler{}
+	addr, _ := startTestServer(t, h)
+	c := NewClient(tcpDialer)
+	defer c.Close()
+
+	// Prime the connection pool so the timed-out request runs on a cached
+	// connection — the case where a retry would otherwise double the hang.
+	if _, err := c.Get(addr, "/prime"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := c.DoTimeout(addr, NewRequest("GET", "/park"), 80*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("error %v is not a net timeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v — the deadline was retried", elapsed)
+	}
+	if got := h.parkedCount(); got != 1 {
+		t.Fatalf("server saw %d parked requests, want 1 (no retry)", got)
+	}
+	// A later request on a fresh connection succeeds: the poisoned
+	// connection was dropped from the pool.
+	resp, err := c.Get(addr, "/after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "GET /after body=" {
+		t.Fatalf("follow-up = %q", resp.Body)
+	}
+	h.Release(emptyAfterTimeout())
+}
+
+// emptyAfterTimeout is the response used to tidy up the abandoned park.
+func emptyAfterTimeout() *Response { return NewResponse(200, "text/plain", nil) }

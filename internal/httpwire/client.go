@@ -2,9 +2,11 @@ package httpwire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Dialer opens a connection to a named host. The netsim package supplies
@@ -17,6 +19,13 @@ type Dialer func(addr string) (net.Conn, error)
 // host, object fetches to a handful of origins).
 type Client struct {
 	Dial Dialer
+
+	// ReadTimeout, when positive, bounds how long Do waits for a response
+	// after writing each request. Zero means wait forever — the right
+	// default for ordinary transfers over shaped links. Long-poll callers
+	// that park requests server-side should prefer the per-call bound of
+	// DoTimeout so only the hanging request carries a deadline.
+	ReadTimeout time.Duration
 
 	mu    sync.Mutex
 	conns map[string]*clientConn
@@ -38,15 +47,30 @@ func NewClient(dial Dialer) *Client {
 // the request retried once on a fresh connection (a request may race a
 // server-side keep-alive close).
 func (c *Client) Do(addr string, req *Request) (*Response, error) {
+	return c.DoTimeout(addr, req, 0)
+}
+
+// DoTimeout is Do with a per-call response read deadline — the safety net a
+// long-poll client needs so a request the server parked (hanging GET) cannot
+// outlive the agreed maximum hang when the server dies mid-park. timeout <= 0
+// falls back to Client.ReadTimeout (no deadline when that is zero too). A
+// deadline expiry is returned as a net.Error with Timeout() == true and is
+// never retried (retrying would double the hang).
+func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	if timeout <= 0 {
+		timeout = c.ReadTimeout
+	}
 	for attempt := 0; ; attempt++ {
 		cc, cached, err := c.getConn(addr)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := cc.roundTrip(req)
+		resp, err := cc.roundTrip(req, timeout)
 		if err != nil {
 			c.dropConn(addr, cc)
-			if cached && attempt == 0 {
+			var ne net.Error
+			timedOut := errors.As(err, &ne) && ne.Timeout()
+			if cached && attempt == 0 && !timedOut {
 				continue // stale pooled connection; retry once
 			}
 			return nil, fmt.Errorf("httpwire: %s %s to %s: %w", req.Method, req.Target, addr, err)
@@ -118,12 +142,20 @@ func (c *Client) dropConn(addr string, cc *clientConn) {
 }
 
 // roundTrip performs one serialized request/response exchange. The per-conn
-// mutex keeps concurrent callers from interleaving on the same socket.
-func (cc *clientConn) roundTrip(req *Request) (*Response, error) {
+// mutex keeps concurrent callers from interleaving on the same socket. A
+// positive readTimeout arms a read deadline for this exchange only; it is
+// cleared afterwards so the pooled connection stays reusable.
+func (cc *clientConn) roundTrip(req *Request, readTimeout time.Duration) (*Response, error) {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if err := WriteRequest(cc.conn, req); err != nil {
 		return nil, err
+	}
+	if readTimeout > 0 {
+		if err := cc.conn.SetReadDeadline(time.Now().Add(readTimeout)); err != nil {
+			return nil, err
+		}
+		defer cc.conn.SetReadDeadline(time.Time{})
 	}
 	return ReadResponse(cc.br)
 }

@@ -16,6 +16,21 @@ type Handler interface {
 	ServeWire(req *Request) *Response
 }
 
+// AsyncHandler is an optional interface a Handler can additionally implement
+// to answer requests asynchronously. ServeWireAsync may either call respond
+// before returning (the synchronous case) or park the request and complete
+// it later from any goroutine — the hanging-GET (Comet) channel RCB's
+// long-poll delivery rides on. respond must be called exactly once per
+// request; extra calls are ignored. The connection's read loop stays parked
+// until respond runs or the server closes, preserving HTTP/1.1 response
+// ordering on the persistent connection. When the server is closed with a
+// request still parked, the request is abandoned: the connection drops and
+// the handler's eventual respond call becomes a no-op.
+type AsyncHandler interface {
+	Handler
+	ServeWireAsync(req *Request, respond func(*Response))
+}
+
 // HandlerFunc adapts a function to the Handler interface.
 type HandlerFunc func(req *Request) *Response
 
@@ -34,7 +49,19 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	done     chan struct{} // closed by Close; unparks waiting connections
 	wg       sync.WaitGroup
+}
+
+// doneChan lazily creates the channel Close broadcasts shutdown on, so a
+// connection can park on it before Serve or Close has run.
+func (s *Server) doneChan() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+	return s.done
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -83,7 +110,9 @@ func (s *Server) Start(l net.Listener) {
 }
 
 // Close stops the listener, closes active connections, and waits for
-// connection goroutines to drain.
+// connection goroutines to drain. Requests a handler has parked via
+// ServeWireAsync are abandoned: their connections drop immediately rather
+// than holding Close hostage until the handler responds.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -92,6 +121,10 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+	close(s.done)
 	l := s.listener
 	for c := range s.conns {
 		c.Close()
@@ -118,6 +151,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 	br := bufio.NewReaderSize(conn, 8<<10)
+	async, _ := s.Handler.(AsyncHandler)
+	done := s.doneChan() // fetched once: the channel never changes after creation
 	for {
 		req, err := ReadRequest(br)
 		if err != nil {
@@ -133,7 +168,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		if addr := conn.RemoteAddr(); addr != nil {
 			req.RemoteAddr = addr.String()
 		}
-		resp := s.Handler.ServeWire(req)
+		var resp *Response
+		if async != nil {
+			respCh := make(chan *Response, 1)
+			async.ServeWireAsync(req, func(r *Response) {
+				select {
+				case respCh <- r:
+				default: // respond called more than once; ignore extras
+				}
+			})
+			select {
+			case resp = <-respCh:
+			case <-done:
+				// Server closing with this request still parked: abandon
+				// it. The handler's eventual respond call is a no-op.
+				return
+			}
+		} else {
+			resp = s.Handler.ServeWire(req)
+		}
 		if resp == nil {
 			resp = NewResponse(500, "text/plain", []byte("nil response\n"))
 		}
