@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build test vet race bench fuzz
 
 build:
 	$(GO) build ./...
@@ -8,16 +8,28 @@ build:
 test: build
 	$(GO) test ./...
 
-# Concurrency regression gate: the single-flight serve path, the sharded
-# agent locks, and the long-poll delivery hub must stay race-clean across
-# every package that drives them.
-race:
+vet:
+	$(GO) vet ./...
+
+# Concurrency regression gate: the single-flight serve path (content and
+# delta), the sharded agent locks, and the long-poll delivery hub must stay
+# race-clean across every package that drives them.
+race: vet
 	$(GO) test -race ./...
 
-# Serve-path and push-path benchmarks plus the JSON snapshots future PRs
-# compare against: BENCH_fanout.json (serve scaling) and
-# BENCH_delivery.json (interval vs long-poll staleness).
-bench:
-	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice|LongPollFanout' -benchmem .
+# Serve-path, push-path and delta benchmarks plus the JSON snapshots future
+# PRs compare against: BENCH_fanout.json (serve scaling), BENCH_delivery.json
+# (interval vs long-poll staleness) and BENCH_delta.json (incremental vs
+# full apply for a small edit).
+bench: vet
+	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice|LongPollFanout|DeltaApply' -benchmem .
 	$(GO) run ./cmd/rcb-bench -fanout -out BENCH_fanout.json
 	$(GO) run ./cmd/rcb-bench -delivery -out BENCH_delivery.json
+	$(GO) run ./cmd/rcb-bench -delta -site msn.com -out BENCH_delta.json
+
+# Brief mutation runs of the native fuzz targets (the checked-in corpora
+# under internal/dom/testdata/fuzz run on every plain `go test`). Each
+# target must be fuzzed in its own invocation.
+fuzz:
+	$(GO) test ./internal/dom -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 15s
+	$(GO) test ./internal/dom -run '^$$' -fuzz '^FuzzDiffApply$$' -fuzztime 15s

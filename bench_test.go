@@ -252,45 +252,53 @@ func BenchmarkAblationHMAC(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationFanout measures agent-side serving cost as participants
-// scale — the direct communication model under load.
+// BenchmarkAblationFanout measures end-to-end serving cost (agent serve plus
+// participant apply, over the virtual wire) as participants scale — the
+// direct communication model under load, in both content modes: "full"
+// resends the whole Figure 4 snapshot per change (the paper's protocol),
+// "delta" ships the incremental deltaContent script for the same small edit.
 func BenchmarkAblationFanout(b *testing.B) {
 	spec, _ := sites.SiteByName("google.com")
-	for _, n := range []int{1, 4, 16} {
-		b.Run(fmt.Sprintf("participants-%d", n), func(b *testing.B) {
-			w := newBenchWorld(b, spec)
-			snippets := []*core.Snippet{w.snip}
-			for i := 1; i < n; i++ {
-				name := fmt.Sprintf("p%d.lan", i)
-				pb := browser.New(name, w.corpus.Network.Dialer(name))
-				b.Cleanup(pb.Close)
-				s := core.NewSnippet(pb, "http://host.lan:3000", "")
-				s.FetchObjects = false
-				if err := s.Join(); err != nil {
-					b.Fatal(err)
-				}
-				snippets = append(snippets, s)
-			}
-			tick := 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				tick++
-				err := w.host.ApplyMutation(func(doc *dom.Document) error {
-					doc.Body().SetAttr("data-tick", fmt.Sprint(tick))
-					return nil
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for _, s := range snippets {
-					if _, err := s.PollOnce(); err != nil {
+	for _, mode := range []string{"full", "delta"} {
+		for _, n := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("participants-%d/%s", n, mode), func(b *testing.B) {
+				w := newBenchWorld(b, spec)
+				w.snip.DisableDelta = mode == "full"
+				snippets := []*core.Snippet{w.snip}
+				for i := 1; i < n; i++ {
+					name := fmt.Sprintf("p%d.lan", i)
+					pb := browser.New(name, w.corpus.Network.Dialer(name))
+					b.Cleanup(pb.Close)
+					s := core.NewSnippet(pb, "http://host.lan:3000", "")
+					s.FetchObjects = false
+					s.DisableDelta = mode == "full"
+					if err := s.Join(); err != nil {
 						b.Fatal(err)
 					}
+					snippets = append(snippets, s)
 				}
-			}
-		})
+				tick := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					tick++
+					err := w.host.ApplyMutation(func(doc *dom.Document) error {
+						doc.Body().SetAttr("data-tick", fmt.Sprint(tick))
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					for _, s := range snippets {
+						if _, err := s.PollOnce(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -338,6 +346,94 @@ func BenchmarkFanoutScale(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkFanoutScaleDelta measures the serve path with delta-tracking
+// participants: each poller acknowledges its previous docTime, so every
+// post-warmup poll rides the shared deltaContent script — one diff plus N
+// cheap cached serves per document change.
+func BenchmarkFanoutScaleDelta(b *testing.B) {
+	spec, _ := sites.SiteByName("google.com")
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("delta/participants-%d", n), func(b *testing.B) {
+			w := newBenchWorld(b, spec)
+			pollers, err := benchutil.RegisterTrackedPollers(w.agent, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm every poller onto the current version with a full sync.
+			if err := benchutil.ServeAllTracked(w.agent, pollers); err != nil {
+				b.Fatal(err)
+			}
+			tick := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tick++
+				if err := benchutil.BumpDoc(w.host, tick); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := benchutil.ServeAllTracked(w.agent, pollers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaApply isolates the participant-side apply path for one
+// small host edit: "full" unmarshals the whole snapshot and re-parses the
+// changed region (what every content change cost before deltas), "delta"
+// unmarshals and applies the patch script in place. allocs/op is the
+// headline number — the apply path was the dominant allocation source in
+// the fan-out profiles.
+func BenchmarkDeltaApply(b *testing.B) {
+	spec, _ := sites.SiteByName("msn.com")
+	w := newBenchWorld(b, spec)
+	base, delta, full, err := benchutil.SmallEditDeltaScenario(w.host, w.agent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseContent, err := core.Unmarshal(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("delta", func(b *testing.B) {
+		doc := benchutil.ParticipantDoc()
+		var memo core.ApplyMemo
+		if err := memo.Apply(doc, baseContent); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(delta)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, err := core.UnmarshalDelta(delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := memo.ApplyDelta(doc, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		doc := benchutil.ParticipantDoc()
+		b.SetBytes(int64(len(full)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := core.Unmarshal(full)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := core.ApplyContentToDocument(doc, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkLongPollFanout measures the push path at scale: N participants

@@ -1,0 +1,158 @@
+package main
+
+// The -delta mode benchmarks the incremental deltaContent path against the
+// full-snapshot path for one small host edit and writes a JSON snapshot
+// (BENCH_delta.json) so successive PRs can compare: the isolated
+// participant-side apply (unmarshal + install) in both modes, and the
+// bytes each mode puts on the wire.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"rcb/internal/benchutil"
+	"rcb/internal/browser"
+	"rcb/internal/core"
+	"rcb/internal/sites"
+)
+
+// DeltaResult is one apply-path measurement.
+type DeltaResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	WireBytes   int     `json:"wire_bytes"`
+}
+
+// DeltaSnapshot is the BENCH_delta.json document.
+type DeltaSnapshot struct {
+	Benchmark  string        `json:"benchmark"`
+	Site       string        `json:"site"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []DeltaResult `json:"results"`
+}
+
+func writeDelta(site, outPath string) error {
+	spec, ok := sites.SiteByName(site)
+	if !ok {
+		return fmt.Errorf("unknown site %q", site)
+	}
+	corpus, err := sites.NewCorpus()
+	if err != nil {
+		return err
+	}
+	defer corpus.Close()
+	host := browser.New("host.lan", corpus.Network.Dialer("host.lan"))
+	defer host.Close()
+	agent := core.NewAgent(host, "host.lan:3000")
+	if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
+		return err
+	}
+
+	// The canonical small-edit exchange, shared with BenchmarkDeltaApply so
+	// the snapshot and the go-test benchmark measure the same scenario.
+	base, delta, full, err := benchutil.SmallEditDeltaScenario(host, agent)
+	if err != nil {
+		return err
+	}
+	baseContent, err := core.Unmarshal(base)
+	if err != nil {
+		return err
+	}
+
+	var failure error
+	deltaBench := testing.Benchmark(func(b *testing.B) {
+		doc := benchutil.ParticipantDoc()
+		var memo core.ApplyMemo
+		if err := memo.Apply(doc, baseContent); err != nil {
+			failure = err
+			b.FailNow()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, err := core.UnmarshalDelta(delta)
+			if err != nil {
+				failure = err
+				b.FailNow()
+			}
+			if err := memo.ApplyDelta(doc, d); err != nil {
+				failure = err
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return failure
+	}
+	fullBench := testing.Benchmark(func(b *testing.B) {
+		doc := benchutil.ParticipantDoc()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := core.Unmarshal(full)
+			if err != nil {
+				failure = err
+				b.FailNow()
+			}
+			if err := core.ApplyContentToDocument(doc, c); err != nil {
+				failure = err
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return failure
+	}
+
+	snap := DeltaSnapshot{
+		Benchmark:  "DeltaApply",
+		Site:       site,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results: []DeltaResult{
+			{
+				Name:        "apply/delta",
+				NsPerOp:     float64(deltaBench.NsPerOp()),
+				AllocsPerOp: deltaBench.AllocsPerOp(),
+				BytesPerOp:  deltaBench.AllocedBytesPerOp(),
+				WireBytes:   len(delta),
+			},
+			{
+				Name:        "apply/full",
+				NsPerOp:     float64(fullBench.NsPerOp()),
+				AllocsPerOp: fullBench.AllocsPerOp(),
+				BytesPerOp:  fullBench.AllocedBytesPerOp(),
+				WireBytes:   len(full),
+			},
+		},
+	}
+	for _, r := range snap.Results {
+		fmt.Fprintf(os.Stderr, "rcb-bench: %s\t%.0f ns/op\t%d allocs/op\t%d B/op\t%d wire bytes\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.WireBytes)
+	}
+
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if outPath != "" {
+		if f, err = os.Create(outPath); err != nil {
+			return err
+		}
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(snap)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

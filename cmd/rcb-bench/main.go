@@ -10,6 +10,7 @@
 //	rcb-bench -ablation -site cnn.com
 //	rcb-bench -fanout -out BENCH_fanout.json       # agent serve-path scaling snapshot
 //	rcb-bench -delivery -out BENCH_delivery.json   # interval vs long-poll staleness snapshot
+//	rcb-bench -delta -out BENCH_delta.json         # delta vs full apply-path snapshot
 package main
 
 import (
@@ -28,7 +29,8 @@ func main() {
 	mobile := flag.Bool("mobile", false, "run the Fennec/N810 mobile experiment (paper §6)")
 	fanout := flag.Bool("fanout", false, "benchmark the agent serve path at 16/64/256 participants")
 	delivery := flag.Bool("delivery", false, "measure interval-poll vs long-poll staleness and request counts")
-	out := flag.String("out", "", "write fanout/delivery results as JSON to this file (default stdout; -all defaults to BENCH_fanout.json)")
+	delta := flag.Bool("delta", false, "benchmark the delta vs full apply path for a small edit")
+	out := flag.String("out", "", "write fanout/delivery/delta results as JSON to this file (default stdout; -all defaults to BENCH_fanout.json)")
 	all := flag.Bool("all", false, "regenerate everything")
 	site := flag.String("site", "google.com", "site for -ablation and -fanout")
 	reps := flag.Int("reps", 3, "repetitions for M5/M6 measurements")
@@ -46,6 +48,12 @@ func main() {
 		}
 		return
 	}
+	if *delta {
+		if err := writeDelta(*site, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *all {
 		// -all regenerates every artifact, including the serve-path
 		// scaling and delivery-staleness snapshots future perf PRs
@@ -59,6 +67,12 @@ func main() {
 				fatal(err)
 			}
 			if err := writeDelivery(*site, "BENCH_delivery.json"); err != nil {
+				fatal(err)
+			}
+			// Pinned to msn.com: the checked-in BENCH_delta.json baseline
+			// (and the Makefile bench target) measure that page, so -all
+			// must not silently rewrite it against a different site.
+			if err := writeDelta("msn.com", "BENCH_delta.json"); err != nil {
 				fatal(err)
 			}
 		}()

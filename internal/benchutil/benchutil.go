@@ -4,6 +4,7 @@
 package benchutil
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -34,6 +35,130 @@ func ServeAll(agent *core.Agent, reqs []*httpwire.Request) error {
 		}
 	}
 	return nil
+}
+
+// TrackedPoller is a wire-level participant that acknowledges the docTime
+// of its previous response, the way a real snippet does — so after its
+// first (full) poll every subsequent poll is delta-eligible. The fan-out
+// delta benchmarks use it where RegisterPollers' fixed ts=0 requests always
+// take the full-snapshot path.
+type TrackedPoller struct {
+	req *httpwire.Request
+	ts  int64
+	buf []byte
+}
+
+// Serve sends one poll acknowledging the tracked docTime and advances the
+// tracker from the response. It returns the response for callers that want
+// the raw bytes (wire-size measurements).
+func (p *TrackedPoller) Serve(agent *core.Agent) (*httpwire.Response, error) {
+	p.buf = append(p.buf[:0], "ts="...)
+	p.buf = strconv.AppendInt(p.buf, p.ts, 10)
+	if p.ts > 0 {
+		p.buf = append(p.buf, "&delta=1"...)
+	}
+	p.req.Body = p.buf
+	resp := agent.ServeWire(p.req)
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("poll returned %d", resp.StatusCode)
+	}
+	if t, ok := docTimeOf(resp.Body); ok {
+		p.ts = t
+	}
+	return resp, nil
+}
+
+// docTimeOpen is the marker docTimeOf scans for, hoisted so the scan stays
+// allocation-free inside timed benchmark loops.
+var docTimeOpen = []byte("<docTime>")
+
+// docTimeOf scans a poll response body for its docTime element.
+func docTimeOf(body []byte) (int64, bool) {
+	i := bytes.Index(body, docTimeOpen)
+	if i < 0 {
+		return 0, false
+	}
+	var v int64
+	j := i + len(docTimeOpen)
+	for ; j < len(body) && body[j] >= '0' && body[j] <= '9'; j++ {
+		v = v*10 + int64(body[j]-'0')
+	}
+	if j == i+len(docTimeOpen) {
+		return 0, false
+	}
+	return v, true
+}
+
+// RegisterTrackedPollers connects n tracked participants at the wire level.
+func RegisterTrackedPollers(agent *core.Agent, n int) ([]*TrackedPoller, error) {
+	reqs, err := RegisterPollers(agent, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*TrackedPoller, n)
+	for i, req := range reqs {
+		out[i] = &TrackedPoller{req: req, buf: make([]byte, 0, 32)}
+	}
+	return out, nil
+}
+
+// ServeAllTracked serves one poll per tracked participant — the timed body
+// of the delta-mode fan-out benchmark iterations.
+func ServeAllTracked(agent *core.Agent, pollers []*TrackedPoller) error {
+	for _, p := range pollers {
+		if _, err := p.Serve(agent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParticipantDoc returns the initial page skeleton a joining participant
+// holds before its first sync — the same shape core.Agent.serveInitialPage
+// sends.
+func ParticipantDoc() *dom.Document {
+	return dom.Parse(`<!DOCTYPE html><html><head><title>RCB Session</title>` +
+		`<script id="rcb-ajax-snippet">/*snippet*/</script></head>` +
+		`<body><div id="rcb-status">Connecting...</div></body></html>`)
+}
+
+// SmallEditDeltaScenario drives the canonical small-edit delta exchange
+// against a live agent: a tracked participant full-syncs, the host document
+// takes one BumpDoc edit, the same participant is served the delta and a
+// fresh participant the full snapshot of the same version. Both the root
+// BenchmarkDeltaApply and rcb-bench -delta run exactly this setup, so the
+// two measurements cannot drift apart. It returns the base snapshot, delta,
+// and full-snapshot message bodies.
+func SmallEditDeltaScenario(host *browser.Browser, agent *core.Agent) (base, delta, full []byte, err error) {
+	pollers, err := RegisterTrackedPollers(agent, 2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	first, err := pollers[0].Serve(agent)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if core.MessageIsDelta(first.Body) {
+		return nil, nil, nil, fmt.Errorf("first poll was served a delta")
+	}
+	if err := BumpDoc(host, 1); err != nil {
+		return nil, nil, nil, err
+	}
+	deltaResp, err := pollers[0].Serve(agent)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !core.MessageIsDelta(deltaResp.Body) {
+		return nil, nil, nil, fmt.Errorf("small edit was not served as a delta")
+	}
+	fullResp, err := pollers[1].Serve(agent)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if core.MessageIsDelta(fullResp.Body) {
+		return nil, nil, nil, fmt.Errorf("fresh participant was served a delta")
+	}
+	return first.Body, deltaResp.Body, fullResp.Body, nil
 }
 
 // RegisterPollers connects n participants directly at the wire level and

@@ -92,6 +92,17 @@ type Agent struct {
 	// the cap completes with the empty response — the §4.1.1 degradation,
 	// so a long-poll participant is never worse off than an interval one.
 	MaxPollWait time.Duration
+	// WakeDebounce coalesces document-change wake-ups of parked long-polls:
+	// a burst of host mutations inside the window wakes the fleet at most
+	// twice (once at the leading edge, once after the window with the latest
+	// version) instead of once per mutation. Zero disables coalescing. Set
+	// before serving traffic.
+	WakeDebounce time.Duration
+	// DisableDelta turns off incremental deltaContent responses: every
+	// content-carrying poll gets the full Figure 4 snapshot, as the paper
+	// specifies. Deltas are also skipped per poll unless the request opts in
+	// with a delta=1 field, so foreign interval-mode clients never see them.
+	DisableDelta bool
 	// Logf, when non-nil, receives diagnostics.
 	Logf func(format string, args ...any)
 
@@ -109,10 +120,18 @@ type Agent struct {
 
 	// cmu guards the prepared-content cache and the single-flight guard:
 	// of N concurrent polls that observe a new document version, exactly
-	// one runs the Figure 3 pipeline; the rest block on its result.
-	cmu      sync.Mutex
-	prepared map[bool]*PreparedContent
-	inflight map[bool]*contentCall
+	// one runs the Figure 3 pipeline; the rest block on its result. The
+	// delta cache rides the same lock: prevPrepared holds the build the
+	// current one replaced (the only valid delta base), delta holds the
+	// encoded script for the current (base → target) pair — or a recorded
+	// "not worth it" — and deltaInflight single-flights its computation so
+	// N concurrent delta-eligible polls cost one dom.Diff.
+	cmu           sync.Mutex
+	prepared      map[bool]*PreparedContent
+	inflight      map[bool]*contentCall
+	prevPrepared  map[bool]*PreparedContent
+	delta         map[bool]*deltaEntry
+	deltaInflight map[bool]*deltaCall
 
 	// amu guards the moderation queue and action sequencing.
 	amu       sync.Mutex
@@ -130,6 +149,26 @@ type Agent struct {
 	// builds counts Figure 3 pipeline executions — the observable the
 	// single-flight tests and cache-effectiveness metrics key on.
 	builds atomic.Int64
+	// diffBuilds counts dom.Diff delta computations; with the delta
+	// single-flight guard this advances once per (base, target, mode) pair.
+	diffBuilds atomic.Int64
+	// deltasServed counts polls answered with a deltaContent message.
+	deltasServed atomic.Int64
+}
+
+// deltaEntry records the delta decision for one (base → target) pair: d is
+// nil when a delta exists but was not worth sending (oversized, or the
+// top-level region set changed), so the question is not re-asked per poll.
+type deltaEntry struct {
+	base, target int64
+	d            *preparedDelta
+}
+
+// deltaCall is one in-flight delta computation concurrent polls wait on.
+type deltaCall struct {
+	base, target int64
+	done         chan struct{}
+	d            *preparedDelta
 }
 
 // contentCall is one in-flight BuildContent execution that concurrent polls
@@ -149,6 +188,14 @@ type PreparedContent struct {
 	version int64
 	docTime int64
 	xml     []byte
+	// content is the extracted message (head children and region payloads):
+	// the delta path compares heads through it and reconstructs the
+	// participant-equivalent tree from it (participantTree).
+	content *NewContent
+	// normOnce/normTree lazily cache the participant-equivalent view of
+	// this build — see participantTree. Only the delta path pays for it.
+	normOnce sync.Once
+	normTree *dom.Node
 	// splice is the offset of the closing </newContent> tag: per-participant
 	// userActions are inserted here by two appends, never a re-marshal.
 	splice  int
@@ -169,6 +216,38 @@ func (p *PreparedContent) DocTime() int64 { return p.docTime }
 // GenTime returns how long the Figure 3 pipeline took to produce this
 // content — the paper's M5 metric.
 func (p *PreparedContent) GenTime() time.Duration { return p.genTime }
+
+// participantTree reconstructs what a participant document's top-level
+// regions look like after applying this build's message in full: each
+// region element gets the message's attribute list and the ParseFragment
+// of its innerHTML payload — exactly the installation the snippet's full
+// apply performs. Deltas must be diffed between these trees, not the live
+// clones they were extracted from: DOM-API mutations can leave empty or
+// adjacent text nodes in the host document that serialization erases, so
+// the clone and the participant's parsed copy can disagree on child
+// indexes even though they serialize identically. The reconstruction is
+// lazy and cached — the full-snapshot path never pays for it.
+func (p *PreparedContent) participantTree() *dom.Node {
+	p.normOnce.Do(func() {
+		root := dom.NewElement("html")
+		add := func(tag string, te *TopElement) {
+			if te == nil {
+				return
+			}
+			el := dom.NewElement(tag)
+			el.Attrs = append([]dom.Attr(nil), te.Attrs...)
+			if te.Inner != "" {
+				dom.SetInnerHTML(el, te.Inner)
+			}
+			root.AppendChild(el)
+		}
+		add("body", p.content.Body)
+		add("frameset", p.content.FrameSet)
+		add("noframes", p.content.NoFrames)
+		p.normTree = root
+	})
+	return p.normTree
+}
 
 // WithUserActions returns the cached message with a userActions element for
 // one participant spliced in before the closing tag. The cached document
@@ -202,17 +281,20 @@ const DefaultMaxPollWait = 25 * time.Second
 // long-polls wake the moment the host document mutates or navigates.
 func NewAgent(b *browser.Browser, addr string) *Agent {
 	a := &Agent{
-		Browser:      b,
-		Addr:         addr,
-		Policy:       OpenPolicy(),
-		participants: make(map[string]*participantState),
-		mapping:      make(map[string]string),
-		tokens:       make(map[string]string),
-		prepared:     make(map[bool]*PreparedContent),
-		inflight:     make(map[bool]*contentCall),
-		hub:          newDeliveryHub(),
+		Browser:       b,
+		Addr:          addr,
+		Policy:        OpenPolicy(),
+		participants:  make(map[string]*participantState),
+		mapping:       make(map[string]string),
+		tokens:        make(map[string]string),
+		prepared:      make(map[bool]*PreparedContent),
+		inflight:      make(map[bool]*contentCall),
+		prevPrepared:  make(map[bool]*PreparedContent),
+		delta:         make(map[bool]*deltaEntry),
+		deltaInflight: make(map[bool]*deltaCall),
+		hub:           newDeliveryHub(),
 	}
-	b.OnChange(a.hub.notifyAll)
+	b.OnChange(func() { a.hub.notifyAllDebounced(a.WakeDebounce) })
 	return a
 }
 
@@ -225,6 +307,11 @@ func (a *Agent) Close() { a.hub.close() }
 // ParkedPolls reports how many long-polls are currently parked — the
 // observable fan-out tests and benchmarks synchronize on.
 func (a *Agent) ParkedPolls() int { return a.hub.parkedCount() }
+
+// WakeFanouts reports how many document-change wake rounds actually woke
+// parked polls — with WakeDebounce set, a burst of M host mutations
+// advances this by at most 2.
+func (a *Agent) WakeFanouts() int64 { return a.hub.wakeFanouts() }
 
 // maxPollWait resolves the effective long-poll cap.
 func (a *Agent) maxPollWait() time.Duration {
@@ -346,7 +433,7 @@ func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Res
 		respond(errResp)
 		return
 	}
-	p, ts, wait, errResp := a.pollSetup(req)
+	p, ts, wait, deltaOK, errResp := a.pollSetup(req)
 	if errResp != nil {
 		respond(errResp)
 		return
@@ -357,12 +444,12 @@ func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Res
 		// event landing between this check and registration forces another
 		// pass instead of being slept through.
 		snap := a.hub.snapshot(pid)
-		resp, hasNew := a.pollResponse(p, ts)
+		resp, hasNew := a.pollResponse(p, ts, deltaOK)
 		if hasNew || wait <= 0 {
 			respond(resp)
 			return
 		}
-		w := &pollWaiter{pid: pid, ts: ts}
+		w := &pollWaiter{pid: pid, ts: ts, deltaOK: deltaOK}
 		w.fulfill = func(reply *pollReply) { respond(a.wakePoll(w, reply)) }
 		parked, retry := a.hub.park(w, snap, wait)
 		if parked {
@@ -390,7 +477,7 @@ func (a *Agent) wakePoll(w *pollWaiter, reply *pollReply) *httpwire.Response {
 		// Disconnected while parked: the same answer a live poll would get.
 		return unknownParticipantResponse
 	}
-	resp, _ := a.pollResponse(p, w.ts)
+	resp, _ := a.pollResponse(p, w.ts, w.deltaOK)
 	return resp
 }
 
@@ -400,22 +487,24 @@ func (a *Agent) wakePoll(w *pollWaiter, reply *pollReply) *httpwire.Response {
 // the empty one — is always immediate. The long-poll flavor lives in
 // ServeWireAsync.
 func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
-	p, ts, _, errResp := a.pollSetup(req)
+	p, ts, _, deltaOK, errResp := a.pollSetup(req)
 	if errResp != nil {
 		return errResp
 	}
-	resp, _ := a.pollResponse(p, ts)
+	resp, _ := a.pollResponse(p, ts, deltaOK)
 	return resp
 }
 
 // pollSetup parses a polling request and runs steps 1 and 2 of §4.1.1:
 // participant lookup, data merging, and timestamp bookkeeping. It returns
-// the participant, the timestamp it reported, and the requested long-poll
-// hang (0 = answer immediately), or a non-nil error response.
-func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time.Duration, *httpwire.Response) {
+// the participant, the timestamp it reported, the requested long-poll hang
+// (0 = answer immediately), and whether the client opted into deltaContent
+// responses — or a non-nil error response.
+func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time.Duration, bool, *httpwire.Response) {
 	pid := pidFromRequest(req)
 	fields := httpwire.ParseForm(string(req.Body))
 	var ts, waitMS int64
+	var deltaOK bool
 	var actionPayload string
 	for _, f := range fields {
 		switch f.Name {
@@ -425,6 +514,8 @@ func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time
 			actionPayload = f.Value
 		case "wait":
 			waitMS, _ = strconv.ParseInt(f.Value, 10, 64)
+		case "delta":
+			deltaOK = f.Value == "1"
 		case "pid":
 			if pid == "" {
 				pid = f.Value
@@ -433,13 +524,13 @@ func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time
 	}
 	p := a.participant(pid)
 	if p == nil {
-		return nil, 0, 0, unknownParticipantResponse
+		return nil, 0, 0, false, unknownParticipantResponse
 	}
 
 	// Step 1: data merging.
 	actions, err := DecodeActions(actionPayload)
 	if err != nil {
-		return nil, 0, 0, badActionResponse
+		return nil, 0, 0, false, badActionResponse
 	}
 	for _, act := range actions {
 		act.From = p.ID
@@ -466,17 +557,20 @@ func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time
 		// clients that don't.)
 		wait = 0
 	}
-	return p, ts, wait, nil
+	return p, ts, wait, deltaOK, nil
 }
 
 // pollResponse runs step 3 of §4.1.1 — response sending — for one
 // participant poll. The prepared message bytes are shared across
 // participants; pending mirror actions are spliced in without re-rendering
 // the document payload, and the no-action fast path reuses the prepared
-// response object as-is. hasNew is false exactly when the response is the
-// shared empty message: the state a long-poll parks on instead of
-// answering.
-func (a *Agent) pollResponse(p *participantState, ts int64) (resp *httpwire.Response, hasNew bool) {
+// response object as-is. A poll that opted into deltas and acknowledges the
+// previous build's docTime gets the shared deltaContent script instead of
+// the full snapshot; every fallback case (first poll, base mismatch,
+// oversized or unavailable delta) degrades to the snapshot. hasNew is false
+// exactly when the response is the shared empty message: the state a
+// long-poll parks on instead of answering.
+func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp *httpwire.Response, hasNew bool) {
 	p.mu.Lock()
 	mode := p.CacheMode
 	outbox := p.outbox
@@ -489,6 +583,16 @@ func (a *Agent) pollResponse(p *participantState, ts int64) (resp *httpwire.Resp
 		return httpwire.NewResponse(500, "text/plain", []byte("content generation failed\n")), true
 	}
 	if prep != nil && prep.docTime > ts {
+		// ts == 0 is a first poll: the participant has no base to patch.
+		if deltaOK && !a.DisableDelta && ts > 0 {
+			if d := a.deltaFor(mode, ts, prep); d != nil {
+				a.deltasServed.Add(1)
+				if len(outbox) == 0 {
+					return d.resp, true
+				}
+				return httpwire.NewResponse(200, "application/xml", d.WithUserActions(outbox)), true
+			}
+		}
 		if len(outbox) == 0 {
 			return prep.resp, true
 		}
@@ -616,6 +720,14 @@ func (a *Agent) contentForMode(cacheMode bool) (*PreparedContent, error) {
 	a.cmu.Lock()
 	if err == nil {
 		if cur := a.prepared[cacheMode]; cur == nil || prep.version >= cur.version {
+			if cur != nil && prep.version > cur.version && !a.DisableDelta {
+				// The replaced build becomes the one valid delta base; any
+				// cached delta script targeted the old pair and is stale.
+				// With deltas off nothing consumes the base, so don't
+				// double the retained payload.
+				a.prevPrepared[cacheMode] = cur
+				delete(a.delta, cacheMode)
+			}
 			a.prepared[cacheMode] = prep
 		}
 	}
@@ -656,10 +768,114 @@ func (a *Agent) BuildContent(cacheMode bool) (*PreparedContent, error) {
 		version: version,
 		docTime: nc.DocTime,
 		xml:     xml,
+		content: nc,
 		splice:  len(xml) - len(closeNewContent),
 		genTime: time.Since(start),
 		resp:    httpwire.NewResponse(200, "application/xml", xml),
 	}, nil
+}
+
+// DiffBuilds reports how many delta scripts have been computed — with the
+// delta single-flight guard this advances once per (base, target, mode)
+// pair no matter how many delta-eligible polls race on it.
+func (a *Agent) DiffBuilds() int64 { return a.diffBuilds.Load() }
+
+// DeltasServed reports how many polls were answered with a deltaContent
+// message instead of the full snapshot.
+func (a *Agent) DeltasServed() int64 { return a.deltasServed.Load() }
+
+// deltaFor returns the shared delta response for a poll acknowledging base,
+// or nil when the poll must fall back to the full snapshot. A delta exists
+// only between the previous build and the current one; its computation is
+// single-flight, and a "not worth it" outcome (oversized script, top-level
+// region change) is cached so the diff runs once per version pair.
+func (a *Agent) deltaFor(cacheMode bool, base int64, prep *PreparedContent) *preparedDelta {
+	a.cmu.Lock()
+	prev := a.prevPrepared[cacheMode]
+	if prev == nil || prev.docTime != base || prep.content == nil || prev.content == nil {
+		a.cmu.Unlock()
+		return nil // base mismatch: the participant skipped a version
+	}
+	if e := a.delta[cacheMode]; e != nil && e.base == base && e.target == prep.docTime {
+		a.cmu.Unlock()
+		return e.d
+	}
+	if call := a.deltaInflight[cacheMode]; call != nil && call.base == base && call.target == prep.docTime {
+		a.cmu.Unlock()
+		<-call.done
+		return call.d
+	}
+	call := &deltaCall{base: base, target: prep.docTime, done: make(chan struct{})}
+	a.deltaInflight[cacheMode] = call
+	a.cmu.Unlock()
+
+	d := a.buildDelta(prev, prep)
+	a.cmu.Lock()
+	// Store only while still the registered call: a version rotation during
+	// the diff may have started a newer pair's computation, and a stale
+	// (base, target) entry must not clobber its freshly cached result.
+	if a.deltaInflight[cacheMode] == call {
+		a.delta[cacheMode] = &deltaEntry{base: call.base, target: call.target, d: d}
+		delete(a.deltaInflight, cacheMode)
+	}
+	a.cmu.Unlock()
+	call.d = d
+	close(call.done)
+	return d
+}
+
+// deltaRegionTags are the top-level regions a delta can patch.
+var deltaRegionTags = [...]string{"body", "frameset", "noframes"}
+
+// buildDelta computes and encodes the edit script between two consecutive
+// builds. Diffs run between the builds' participant-equivalent trees (see
+// participantTree), never the live clones, so patch paths resolve on what
+// participants actually hold. It returns nil when no worthwhile delta
+// exists: the top-level region set changed (the snippet's cleanup step
+// handles that transition on the full path), or the encoded message is not
+// smaller than the full snapshot.
+func (a *Agent) buildDelta(prev, cur *PreparedContent) *preparedDelta {
+	a.diffBuilds.Add(1)
+	d := &DeltaContent{DocTime: cur.docTime, BaseDocTime: prev.docTime}
+	if !headChildrenEqual(prev.content.Head, cur.content.Head) {
+		d.HasHead = true
+		d.Head = cur.content.Head
+	}
+	if (prev.content.Body == nil) != (cur.content.Body == nil) ||
+		(prev.content.FrameSet == nil) != (cur.content.FrameSet == nil) ||
+		(prev.content.NoFrames == nil) != (cur.content.NoFrames == nil) {
+		return nil
+	}
+	pt, ct := prev.participantTree(), cur.participantTree()
+	for _, tag := range deltaRegionTags {
+		po, co := pt.FirstChildElement(tag), ct.FirstChildElement(tag)
+		if po == nil || co == nil {
+			continue // absent on both sides, per the presence check above
+		}
+		patches := dom.Diff(po, co)
+		if len(patches) == 0 {
+			continue
+		}
+		switch tag {
+		case "body":
+			d.Body = patches
+		case "frameset":
+			d.FrameSet = patches
+		default:
+			d.NoFrames = patches
+		}
+	}
+	xml := d.Marshal()
+	if len(xml) >= len(cur.xml) {
+		return nil // oversized: the snapshot is cheaper to ship and apply
+	}
+	return &preparedDelta{
+		baseDocTime: prev.docTime,
+		docTime:     cur.docTime,
+		xml:         xml,
+		splice:      len(xml) - len(closeDeltaContent),
+		resp:        httpwire.NewResponse(200, "application/xml", xml),
+	}
 }
 
 // nextDocTime issues the timestamp for a document version: wall-clock

@@ -34,6 +34,7 @@ import (
 type pollWaiter struct {
 	pid     string
 	ts      int64
+	deltaOK bool // the parked request opted into deltaContent responses
 	fulfill func(reply *pollReply)
 	timer   *time.Timer
 }
@@ -64,6 +65,15 @@ type deliveryHub struct {
 	pidSeqs map[string]uint64
 	parked  map[string][]*pollWaiter
 	count   int
+
+	// Burst coalescing (notifyAllDebounced): lastWake stamps the most
+	// recent global fan-out; wakeArmed marks a trailing wake already
+	// scheduled on wakeTimer. fanouts counts global wake rounds that woke
+	// at least one waiter — the observable the debounce tests key on.
+	lastWake  time.Time
+	wakeArmed bool
+	wakeTimer *time.Timer
+	fanouts   int64
 }
 
 func newDeliveryHub() *deliveryHub {
@@ -147,13 +157,80 @@ func (h *deliveryHub) parkedCount() int {
 func (h *deliveryHub) notifyAll() {
 	h.mu.Lock()
 	h.global++
+	h.lastWake = time.Now()
+	woken := h.collectAllLocked()
+	h.mu.Unlock()
+	wakeWaiters(woken)
+}
+
+// notifyAllDebounced is notifyAll with burst coalescing: the first change
+// after a quiet period wakes the fleet immediately, and every further
+// change inside the debounce window folds into a single trailing wake that
+// serves the latest version — so M rapid host mutations cost at most two
+// fan-outs instead of M. The notification counter still advances on every
+// call, so the check-then-park race stays closed: a poll arriving
+// mid-window re-checks inline and sees the newest content without any wake.
+// A zero debounce is plain notifyAll.
+func (h *deliveryHub) notifyAllDebounced(debounce time.Duration) {
+	if debounce <= 0 {
+		h.notifyAll()
+		return
+	}
+	h.mu.Lock()
+	h.global++
+	if h.closed || h.wakeArmed {
+		h.mu.Unlock()
+		return
+	}
+	if since := time.Since(h.lastWake); since < debounce {
+		h.wakeArmed = true
+		h.wakeTimer = time.AfterFunc(debounce-since, h.trailingWake)
+		h.mu.Unlock()
+		return
+	}
+	h.lastWake = time.Now()
+	woken := h.collectAllLocked()
+	h.mu.Unlock()
+	wakeWaiters(woken)
+}
+
+// trailingWake flushes the coalesced tail of a mutation burst.
+func (h *deliveryHub) trailingWake() {
+	h.mu.Lock()
+	h.wakeArmed = false
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.lastWake = time.Now()
+	woken := h.collectAllLocked()
+	h.mu.Unlock()
+	wakeWaiters(woken)
+}
+
+// collectAllLocked detaches every parked waiter and counts the fan-out.
+// Callers hold h.mu.
+func (h *deliveryHub) collectAllLocked() []*pollWaiter {
 	var woken []*pollWaiter
 	for pid, list := range h.parked {
 		woken = append(woken, list...)
 		delete(h.parked, pid)
 	}
 	h.count = 0
-	h.mu.Unlock()
+	if len(woken) > 0 {
+		h.fanouts++
+	}
+	return woken
+}
+
+// wakeFanouts reports how many global wake rounds actually woke waiters.
+func (h *deliveryHub) wakeFanouts() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fanouts
+}
+
+func wakeWaiters(woken []*pollWaiter) {
 	for _, w := range woken {
 		w.timer.Stop()
 		go w.fulfill(&pollReply{})
@@ -185,6 +262,10 @@ func (h *deliveryHub) close() {
 		return
 	}
 	h.closed = true
+	if h.wakeTimer != nil {
+		h.wakeTimer.Stop()
+	}
+	h.wakeArmed = false
 	var woken []*pollWaiter
 	for pid, list := range h.parked {
 		woken = append(woken, list...)

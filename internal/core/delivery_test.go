@@ -334,6 +334,142 @@ func TestParkDeniedPacesRun(t *testing.T) {
 	}
 }
 
+// fakeWaiter parks a no-op waiter directly on a hub and reports when it is
+// fulfilled.
+func fakeWaiter(t *testing.T, h *deliveryHub, pid string) (done chan struct{}) {
+	t.Helper()
+	done = make(chan struct{})
+	w := &pollWaiter{pid: pid, fulfill: func(*pollReply) { close(done) }}
+	parked, _ := h.park(w, h.snapshot(pid), time.Minute)
+	if !parked {
+		t.Fatalf("waiter %s refused to park", pid)
+	}
+	return done
+}
+
+// TestHubDebounceCoalescesBurst is the deterministic hub-level guard for
+// ROADMAP's burst-wake item: with a debounce window, M rapid notifications
+// produce at most two fan-outs — one leading wake, one trailing wake with
+// the latest state.
+func TestHubDebounceCoalescesBurst(t *testing.T) {
+	const window = 150 * time.Millisecond
+	h := newDeliveryHub()
+
+	// Leading edge: a notification after a quiet period wakes immediately.
+	d1 := fakeWaiter(t, h, "p1")
+	h.notifyAllDebounced(window)
+	select {
+	case <-d1:
+	case <-time.After(2 * time.Second):
+		t.Fatal("leading-edge wake did not fire")
+	}
+
+	// Burst: many notifications inside the window coalesce into exactly one
+	// trailing wake.
+	d2 := fakeWaiter(t, h, "p2")
+	for i := 0; i < 10; i++ {
+		h.notifyAllDebounced(window)
+	}
+	select {
+	case <-d2:
+		t.Fatal("burst notification woke the waiter inside the window")
+	case <-time.After(window / 3):
+	}
+	select {
+	case <-d2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("trailing wake never fired")
+	}
+	if got := h.wakeFanouts(); got != 2 {
+		t.Fatalf("11 notifications produced %d fan-outs, want 2", got)
+	}
+	// The notification counter advanced on every call: parks with stale
+	// snapshots must still be refused mid-burst.
+	snap := h.snapshot("p3")
+	h.notifyAllDebounced(window)
+	w := &pollWaiter{pid: "p3", fulfill: func(*pollReply) {}}
+	if parked, retry := h.park(w, snap, time.Minute); parked || !retry {
+		t.Fatalf("stale-snapshot park during debounce: parked=%v retry=%v", parked, retry)
+	}
+	h.close()
+}
+
+// TestBurstWakeDebounceEndToEnd drives the same property over the real
+// stack: parked long-poll participants, a burst of host mutations, at most
+// two fan-outs, and every participant converging on the final version.
+func TestBurstWakeDebounceEndToEnd(t *testing.T) {
+	w := newWorld(t, func(a *Agent) { a.WakeDebounce = 100 * time.Millisecond })
+	w.hostNavigate(t, "http://"+sites.Table1[1].Host()+"/")
+
+	const n = 4
+	snippets := make([]*Snippet, n)
+	for i := range snippets {
+		snippets[i] = longPollJoin(t, w, fmt.Sprintf("b%d.lan", i), 10*time.Second)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, s := range snippets {
+		wg.Add(1)
+		go func(i int, s *Snippet) {
+			defer wg.Done()
+			// Poll until this participant reaches the final version.
+			for {
+				updated, err := s.PollOnce()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if updated && s.Stats().ContentPolls >= 2 {
+					return
+				}
+			}
+		}(i, s)
+	}
+	waitParked(t, w.agent, n)
+
+	const bumps = 8
+	for tick := 1; tick <= bumps; tick++ {
+		err := w.host.ApplyMutation(func(doc *dom.Document) error {
+			doc.Body().SetAttr("data-burst", fmt.Sprint(tick))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("participant %d: %v", i, err)
+		}
+	}
+	if got := w.agent.WakeFanouts(); got > 2 {
+		t.Errorf("%d rapid bumps produced %d fan-outs, want ≤ 2", bumps, got)
+	}
+	// Everyone holds the final content.
+	final := fmt.Sprint(bumps)
+	for i, s := range snippets {
+		// The last wake served the latest version; participants that stopped
+		// at an intermediate version poll once more to drain.
+		for {
+			var attr string
+			err := s.Browser.WithDocument(func(_ string, doc *dom.Document) error {
+				attr = doc.Body().AttrOr("data-burst", "")
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if attr == final {
+				break
+			}
+			if _, err := s.PollOnce(); err != nil {
+				t.Fatalf("participant %d drain poll: %v", i, err)
+			}
+		}
+	}
+}
+
 // TestIntervalPollUnaffectedByHub checks backward compatibility: a default
 // (interval-mode) snippet never parks and still sees immediate empty
 // responses — the paper's protocol byte-for-byte.

@@ -16,6 +16,8 @@ type SnippetStats struct {
 	Polls            int64
 	EmptyPolls       int64
 	ContentPolls     int64
+	DeltaPolls       int64 // content polls answered incrementally (deltaContent)
+	DeltaFailures    int64 // delta applies abandoned for a full resync
 	ActionsSent      int64
 	LastApplyTime    time.Duration // duration of the last Figure 5 application (the paper's M6)
 	ObjectFetches    int64
@@ -95,6 +97,10 @@ type Snippet struct {
 	// after a content update (on by default; the experiment harness turns
 	// it off when it wants to time M6 in isolation).
 	FetchObjects bool
+	// DisableDelta stops the snippet from advertising deltaContent support:
+	// every content poll then carries the full Figure 4 snapshot, the
+	// paper's exact protocol. Benchmarks use it to compare the two paths.
+	DisableDelta bool
 	// OnUserAction, when non-nil, receives mirrored actions of other users
 	// (pointer moves, etc.).
 	OnUserAction func(Action)
@@ -290,6 +296,11 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	s.mu.Unlock()
 
 	fields := []httpwire.FormField{{Name: "ts", Value: strconv.FormatInt(ts, 10)}}
+	if !s.DisableDelta && ts > 0 {
+		// Advertise delta support once a baseline exists; the agent still
+		// decides per response whether a delta is available and worthwhile.
+		fields = append(fields, httpwire.FormField{Name: "delta", Value: "1"})
+	}
 	if len(actions) > 0 {
 		fields = append(fields, httpwire.FormField{Name: "actions", Value: EncodeActions(actions)})
 	}
@@ -357,6 +368,9 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 		s.mu.Unlock()
 		return false, nil
 	}
+	if MessageIsDelta(resp.Body) {
+		return s.handleDeltaResponse(resp.Body, ts)
+	}
 	content, err := Unmarshal(resp.Body)
 	if err != nil {
 		return false, fmt.Errorf("rcb-snippet: bad response content: %w", err)
@@ -377,6 +391,58 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	s.stats.ContentPolls++
 	s.mu.Unlock()
 	return true, nil
+}
+
+// handleDeltaResponse applies an incremental deltaContent answer: mirror
+// actions are dispatched as usual, then the patch scripts are applied in
+// place — no payload re-parse. Any failure (codec error, base mismatch,
+// patch that does not resolve) abandons the delta and resets the
+// acknowledged timestamp to zero, so the very next poll fetches a full
+// snapshot and rebuilds from scratch: the participant can render stale for
+// one round trip but can never stay diverged.
+func (s *Snippet) handleDeltaResponse(body []byte, ts int64) (bool, error) {
+	d, err := UnmarshalDelta(body)
+	if err != nil {
+		s.desync()
+		return false, fmt.Errorf("rcb-snippet: bad delta content: %w (resyncing)", err)
+	}
+	for _, act := range d.UserActions {
+		if s.OnUserAction != nil {
+			s.OnUserAction(act)
+		}
+	}
+	if d.BaseDocTime != ts {
+		s.desync()
+		return false, fmt.Errorf("rcb-snippet: delta base %d does not match acknowledged %d (resyncing)", d.BaseDocTime, ts)
+	}
+	start := time.Now()
+	err = s.Browser.ApplyMutation(func(doc *dom.Document) error {
+		return s.memo.ApplyDelta(doc, d)
+	})
+	apply := time.Since(start)
+	if err != nil {
+		s.desync()
+		s.mu.Lock()
+		s.stats.DeltaFailures++
+		s.mu.Unlock()
+		return false, fmt.Errorf("rcb-snippet: apply delta: %w (resyncing)", err)
+	}
+	s.mu.Lock()
+	s.docTime = d.DocTime
+	s.stats.LastApplyTime = apply
+	s.stats.ContentPolls++
+	s.stats.DeltaPolls++
+	s.mu.Unlock()
+	return true, s.fetchContentObjects()
+}
+
+// desync forgets the acknowledged document timestamp: the next poll reports
+// ts=0, which the agent always answers with a full snapshot.
+func (s *Snippet) desync() {
+	s.mu.Lock()
+	s.docTime = 0
+	s.memo = ApplyMemo{}
+	s.mu.Unlock()
 }
 
 // ApplyContent installs new document content into the participant browser,
@@ -401,26 +467,33 @@ func (s *Snippet) ApplyContent(content *NewContent) error {
 	s.mu.Lock()
 	s.stats.LastApplyTime = apply
 	s.mu.Unlock()
+	return s.fetchContentObjects()
+}
 
-	if s.FetchObjects {
-		var fetches []browser.ObjectFetch
-		err = s.Browser.WithDocument(func(pageURL string, doc *dom.Document) error {
-			fetches = s.Browser.RenderObjects(doc, pageURL)
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		s.mu.Lock()
-		s.lastObjects = fetches
-		s.stats.ObjectFetches += int64(len(fetches))
-		for _, f := range fetches {
-			if hostOf(f.URL) == hostOf(s.AgentURL) {
-				s.stats.ObjectsFromAgent++
-			}
-		}
-		s.mu.Unlock()
+// fetchContentObjects downloads the supplementary objects the current
+// document references — the post-apply step shared by the full and delta
+// content paths. A no-op when FetchObjects is off.
+func (s *Snippet) fetchContentObjects() error {
+	if !s.FetchObjects {
+		return nil
 	}
+	var fetches []browser.ObjectFetch
+	err := s.Browser.WithDocument(func(pageURL string, doc *dom.Document) error {
+		fetches = s.Browser.RenderObjects(doc, pageURL)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.lastObjects = fetches
+	s.stats.ObjectFetches += int64(len(fetches))
+	for _, f := range fetches {
+		if hostOf(f.URL) == hostOf(s.AgentURL) {
+			s.stats.ObjectsFromAgent++
+		}
+	}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -476,30 +549,7 @@ func applyContent(doc *dom.Document, content *NewContent, memo *ApplyMemo) error
 	// Steps 1 and 2: head cleanup and rebuild — skipped entirely when the
 	// new head children match what this memo last installed.
 	if memo == nil || !memo.headOK || !headChildrenEqual(memo.head, content.Head) {
-		// Step 1: clean up the head, keeping Ajax-Snippet. The snippet
-		// "always keeps itself as a <script> child element within the head
-		// element of any current document".
-		var snippetEl *dom.Node
-		for _, c := range head.ChildElements() {
-			if c.Tag == "script" && c.AttrOr("id", "") == "rcb-ajax-snippet" {
-				snippetEl = c
-				break
-			}
-		}
-		head.RemoveAllChildren()
-		if snippetEl != nil {
-			head.AppendChild(snippetEl)
-		}
-
-		// Step 2: append the new head children.
-		for _, hc := range content.Head {
-			el := dom.NewElement(hc.Tag)
-			el.Attrs = append([]dom.Attr(nil), hc.Attrs...)
-			if hc.Inner != "" {
-				dom.SetInnerHTML(el, hc.Inner)
-			}
-			head.AppendChild(el)
-		}
+		rebuildHead(head, content.Head)
 		if memo != nil {
 			memo.head = append(memo.head[:0], content.Head...)
 			memo.headOK = true
@@ -566,6 +616,76 @@ func applyContent(doc *dom.Document, content *NewContent, memo *ApplyMemo) error
 		setTop("body", content.Body, nil)
 		setTop("frameset", content.FrameSet, nil)
 		setTop("noframes", content.NoFrames, nil)
+	}
+	return nil
+}
+
+// rebuildHead runs Figure 5 steps 1 and 2 against a head element: clean up
+// keeping Ajax-Snippet itself (the snippet "always keeps itself as a
+// <script> child element within the head element of any current document"),
+// then append the new head children. Shared by the full and delta apply
+// paths.
+func rebuildHead(head *dom.Node, children []HeadChild) {
+	var snippetEl *dom.Node
+	for _, c := range head.ChildElements() {
+		if c.Tag == "script" && c.AttrOr("id", "") == "rcb-ajax-snippet" {
+			snippetEl = c
+			break
+		}
+	}
+	head.RemoveAllChildren()
+	if snippetEl != nil {
+		head.AppendChild(snippetEl)
+	}
+	for _, hc := range children {
+		el := dom.NewElement(hc.Tag)
+		el.Attrs = append([]dom.Attr(nil), hc.Attrs...)
+		if hc.Inner != "" {
+			dom.SetInnerHTML(el, hc.Inner)
+		}
+		head.AppendChild(el)
+	}
+}
+
+// ApplyDelta applies an incremental deltaContent message to the document
+// this memo last synchronized: patch scripts run in place against the live
+// region elements, with no payload re-parse. Patched regions are forgotten
+// by the memo (their serialized form is unknown after an in-place edit), so
+// a later full snapshot re-parses them; untouched regions keep their memo
+// entries and still skip byte-identical re-installs. Any error leaves the
+// caller responsible for a full resync.
+func (m *ApplyMemo) ApplyDelta(doc *dom.Document, d *DeltaContent) error {
+	if m.doc != doc {
+		return fmt.Errorf("delta received without an applied baseline")
+	}
+	if d.HasHead {
+		rebuildHead(doc.Head(), d.Head)
+		m.head = append(m.head[:0], d.Head...)
+		m.headOK = true
+	}
+	root := doc.Root
+	for _, region := range []struct {
+		tag     string
+		patches []dom.Patch
+		last    *appliedTop
+	}{
+		{"body", d.Body, &m.body},
+		{"frameset", d.FrameSet, &m.frameset},
+		{"noframes", d.NoFrames, &m.noframes},
+	} {
+		if len(region.patches) == 0 {
+			continue
+		}
+		el := root.FirstChildElement(region.tag)
+		if el == nil {
+			return fmt.Errorf("delta patches <%s> but the document has none", region.tag)
+		}
+		// Invalidate before patching: a partial apply must never let a later
+		// identical-payload check skip the repair re-parse.
+		*region.last = appliedTop{}
+		if err := dom.Apply(el, region.patches); err != nil {
+			return err
+		}
 	}
 	return nil
 }

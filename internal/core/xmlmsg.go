@@ -182,17 +182,11 @@ func Unmarshal(data []byte) (*NewContent, error) {
 	if content, ok := elementText(s, "docContent"); ok {
 		c.HasDocument = true
 		if headSec, ok := elementText(content, "docHead"); ok {
-			for i := 1; ; i++ {
-				payload, ok := elementText(headSec, "hChild"+strconv.Itoa(i))
-				if !ok {
-					break
-				}
-				h, err := parseHeadChildPayload(jsescape.Unescape(stripCDATA(payload)))
-				if err != nil {
-					return nil, err
-				}
-				c.Head = append(c.Head, h)
+			head, err := parseHeadSection(headSec)
+			if err != nil {
+				return nil, err
 			}
+			c.Head = head
 		}
 		if payload, ok := elementText(content, "docBody"); ok {
 			te, err := parseTopElementPayload(jsescape.Unescape(stripCDATA(payload)))
@@ -224,6 +218,24 @@ func Unmarshal(data []byte) (*NewContent, error) {
 		c.UserActions = actions
 	}
 	return c, nil
+}
+
+// parseHeadSection parses the numbered hChild elements of a docHead section
+// — shared by the full newContent and deltaContent unmarshalers.
+func parseHeadSection(headSec string) ([]HeadChild, error) {
+	var head []HeadChild
+	for i := 1; ; i++ {
+		payload, ok := elementText(headSec, "hChild"+strconv.Itoa(i))
+		if !ok {
+			break
+		}
+		h, err := parseHeadChildPayload(jsescape.Unescape(stripCDATA(payload)))
+		if err != nil {
+			return nil, err
+		}
+		head = append(head, h)
+	}
+	return head, nil
 }
 
 // elementText returns the text between <name> and </name> in s.

@@ -1,0 +1,209 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustDiffApply diffs two parsed fragments' roots, applies the script to the
+// old tree, and asserts byte-identical serialization with the new tree. It
+// returns the script for shape assertions.
+func mustDiffApply(t *testing.T, oldHTML, newHTML string) []Patch {
+	t.Helper()
+	old := Parse(oldHTML)
+	new := Parse(newHTML)
+	patches := Diff(old.Root, new.Root)
+	if err := Apply(old.Root, patches); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	got, want := OuterHTML(old.Root), OuterHTML(new.Root)
+	if got != want {
+		t.Fatalf("diff/apply mismatch:\n got %q\nwant %q\npatches %+v", got, want, patches)
+	}
+	return patches
+}
+
+func countOps(patches []Patch, op PatchOp) int {
+	n := 0
+	for _, p := range patches {
+		if p.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDiffIdenticalTreesIsEmpty(t *testing.T) {
+	src := `<html><head><title>x</title></head><body><div id="a">hi<b>there</b></div></body></html>`
+	patches := mustDiffApply(t, src, src)
+	if len(patches) != 0 {
+		t.Fatalf("identical trees produced %d patches: %+v", len(patches), patches)
+	}
+}
+
+func TestDiffAttrEditIsSinglePatch(t *testing.T) {
+	patches := mustDiffApply(t,
+		`<html><body><div id="a" class="x">hi</div></body></html>`,
+		`<html><body><div id="a" class="y">hi</div></body></html>`)
+	if len(patches) != 1 || patches[0].Op != OpSetAttrs {
+		t.Fatalf("attr edit patches = %+v, want one set-attrs", patches)
+	}
+}
+
+func TestDiffTextEditIsSinglePatch(t *testing.T) {
+	patches := mustDiffApply(t,
+		`<html><body><p>old text</p></body></html>`,
+		`<html><body><p>new text</p></body></html>`)
+	if len(patches) != 1 || patches[0].Op != OpSetText {
+		t.Fatalf("text edit patches = %+v, want one set-text", patches)
+	}
+}
+
+func TestDiffInsertRemoveReplace(t *testing.T) {
+	// Insert a subtree.
+	patches := mustDiffApply(t,
+		`<html><body><ul><li>a</li><li>c</li></ul></body></html>`,
+		`<html><body><ul><li>a</li><li>b</li><li>c</li></ul></body></html>`)
+	if countOps(patches, OpInsert) == 0 {
+		t.Fatalf("insertion produced no insert op: %+v", patches)
+	}
+	// Remove a subtree.
+	patches = mustDiffApply(t,
+		`<html><body><ul><li>a</li><li>b</li><li>c</li></ul></body></html>`,
+		`<html><body><ul><li>a</li><li>c</li></ul></body></html>`)
+	if countOps(patches, OpRemove) == 0 {
+		t.Fatalf("removal produced no remove op: %+v", patches)
+	}
+	// Incompatible node in the same slot: replaced, not edited.
+	patches = mustDiffApply(t,
+		`<html><body><div>x</div></body></html>`,
+		`<html><body><span>x</span></body></html>`)
+	if countOps(patches, OpReplace) != 1 {
+		t.Fatalf("tag change patches = %+v, want one replace", patches)
+	}
+}
+
+func TestDiffKeyedMove(t *testing.T) {
+	// Reordering keyed siblings must not rewrite their contents: the moved
+	// subtree travels as remove+insert (or replace pair), and the large
+	// stable subtree is left untouched.
+	big := `<div id="big"><p>lots</p><p>of</p><p>content</p><p>here</p></div>`
+	patches := mustDiffApply(t,
+		`<html><body>`+big+`<div id="small">s</div></body></html>`,
+		`<html><body><div id="small">s</div>`+big+`</body></html>`)
+	for _, p := range patches {
+		if p.Op == OpSetText {
+			t.Fatalf("keyed move rewrote text in place: %+v", patches)
+		}
+	}
+}
+
+func TestDiffKeyedIdentityBlocksInPlaceEdit(t *testing.T) {
+	// Same tag, different id: keyed diff must replace, never merge.
+	patches := mustDiffApply(t,
+		`<html><body><div id="a">one</div></body></html>`,
+		`<html><body><div id="b">two</div></body></html>`)
+	if countOps(patches, OpReplace) != 1 || countOps(patches, OpSetText) != 0 {
+		t.Fatalf("cross-key edit patches = %+v, want a single replace", patches)
+	}
+}
+
+func TestDiffNestedEditPathsResolve(t *testing.T) {
+	mustDiffApply(t,
+		`<html><body><table><tr><td>1</td><td>2</td></tr><tr><td>3</td><td>4</td></tr></table></body></html>`,
+		`<html><body><table><tr><td>1</td><td>2!</td></tr><tr><td>3</td><td>4</td><td>5</td></tr></table></body></html>`)
+}
+
+func TestDiffRawTextAndVoidElements(t *testing.T) {
+	mustDiffApply(t,
+		`<html><head><script>var a = 1;</script></head><body><img src="a.png"><br></body></html>`,
+		`<html><head><script>var a = 2;</script></head><body><img src="b.png"><hr></body></html>`)
+}
+
+func TestDiffMixedTextElementChildren(t *testing.T) {
+	mustDiffApply(t,
+		`<html><body>alpha<b>bold</b>beta<!--note-->gamma</body></html>`,
+		`<html><body>alpha<b>bolder</b><i>new</i>beta<!--edited-->delta</body></html>`)
+}
+
+func TestDiffIncompatibleRootsMorphInPlace(t *testing.T) {
+	old := Parse(`<html><body>x</body></html>`)
+	root := old.Root
+	repl := NewElement("div")
+	repl.AppendChild(NewText("swapped"))
+	patches := Diff(root, repl)
+	if len(patches) != 1 || patches[0].Op != OpReplace || patches[0].Path != "" {
+		t.Fatalf("root swap patches = %+v", patches)
+	}
+	if err := Apply(root, patches); err != nil {
+		t.Fatal(err)
+	}
+	if got := OuterHTML(root); got != `<div>swapped</div>` {
+		t.Fatalf("morphed root = %q", got)
+	}
+	if root != old.Root {
+		t.Fatal("root identity changed")
+	}
+	for _, c := range root.Children {
+		if c.Parent != root {
+			t.Fatal("reparenting missed a child")
+		}
+	}
+}
+
+func TestDiffWideChildListsPastLCSLimit(t *testing.T) {
+	var a, b strings.Builder
+	a.WriteString(`<html><body>`)
+	b.WriteString(`<html><body>`)
+	for i := 0; i < 300; i++ {
+		a.WriteString(`<span>x</span>`)
+		b.WriteString(`<span>x</span>`)
+	}
+	b.WriteString(`<div>tail</div>`) // 300*301 > lcsLimit: positional fallback
+	a.WriteString(`</body></html>`)
+	b.WriteString(`</body></html>`)
+	mustDiffApply(t, a.String(), b.String())
+}
+
+func TestApplyRejectsMalformedPatches(t *testing.T) {
+	doc := Parse(`<html><body><p>x</p></body></html>`)
+	cases := []struct {
+		name  string
+		patch Patch
+	}{
+		{"bad path", Patch{Op: OpSetText, Path: "9.9", Text: "x"}},
+		{"empty segment", Patch{Op: OpRemove, Path: "1..0"}},
+		{"negative index", Patch{Op: OpSetText, Path: "-1"}},
+		{"set-text on element", Patch{Op: OpSetText, Path: "1", Text: "x"}},
+		{"set-attrs on text", Patch{Op: OpSetAttrs, Path: "1.0.0", Attrs: []Attr{{Name: "a", Value: "b"}}}},
+		{"remove root", Patch{Op: OpRemove, Path: ""}},
+		{"insert nil node", Patch{Op: OpInsert, Path: "1", Index: 0}},
+		{"insert bad index", Patch{Op: OpInsert, Path: "1", Index: 5, Node: NewText("x")}},
+		{"insert into text", Patch{Op: OpInsert, Path: "1.0.0", Index: 0, Node: NewText("x")}},
+		{"replace nil node", Patch{Op: OpReplace, Path: "1.0"}},
+	}
+	for _, tc := range cases {
+		if err := Apply(doc.Root, []Patch{tc.patch}); err == nil {
+			t.Errorf("%s: Apply accepted a malformed patch", tc.name)
+		}
+	}
+	// The probe document survived every rejected patch untouched enough to
+	// keep serving (structure checks only — partial application is allowed).
+	if doc.Root.FirstChildElement("body") == nil {
+		t.Fatal("body lost during rejected patches")
+	}
+}
+
+func TestApplyInsertAtEveryIndex(t *testing.T) {
+	for idx := 0; idx <= 2; idx++ {
+		doc := Parse(`<html><body><i>a</i><i>b</i></body></html>`)
+		body := doc.Root.FirstChildElement("body")
+		p := Patch{Op: OpInsert, Path: "1", Index: idx, Node: NewElement("u")}
+		if err := Apply(doc.Root, []Patch{p}); err != nil {
+			t.Fatalf("index %d: %v", idx, err)
+		}
+		if body.Children[idx].Tag != "u" {
+			t.Fatalf("index %d: inserted at %v", idx, OuterHTML(body))
+		}
+	}
+}

@@ -244,23 +244,26 @@ func (z *tokenizer) scanStartTag() (token, bool) {
 // close-tag match is case-insensitive. If no close tag exists the rest of the
 // input is consumed.
 func (z *tokenizer) scanRawText(tag string) string {
-	lowSrc := strings.ToLower(z.src[z.pos:])
-	marker := "</" + tag
+	// The close-tag search must be byte-offset-preserving: strings.ToLower
+	// rewrites invalid UTF-8 (and some unicode) to sequences of a different
+	// length, which would misalign every index into the raw source.
+	src := z.src[z.pos:]
+	marker := "</" + tag // tag is already lowercase
 	idx := 0
 	for {
-		rel := strings.Index(lowSrc[idx:], marker)
+		rel := asciiIndexFold(src[idx:], marker)
 		if rel < 0 {
-			text := z.src[z.pos:]
+			text := src
 			z.pos = len(z.src)
 			return text
 		}
 		at := idx + rel
 		after := at + len(marker)
 		// Must be followed by space, '/', or '>' to count as a close tag.
-		if after >= len(lowSrc) || lowSrc[after] == '>' || isSpace(lowSrc[after]) || lowSrc[after] == '/' {
-			text := z.src[z.pos : z.pos+at]
+		if after >= len(src) || src[after] == '>' || isSpace(src[after]) || src[after] == '/' {
+			text := src[:at]
 			// Advance past "</tag ... >".
-			end := strings.IndexByte(z.src[z.pos+at:], '>')
+			end := strings.IndexByte(src[at:], '>')
 			if end < 0 {
 				z.pos = len(z.src)
 			} else {
@@ -270,6 +273,30 @@ func (z *tokenizer) scanRawText(tag string) string {
 		}
 		idx = after
 	}
+}
+
+// asciiIndexFold returns the index of the first occurrence of sub in s under
+// ASCII case folding, or -1. sub must already be lowercase ASCII.
+func asciiIndexFold(s, sub string) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		j := 0
+		for ; j < len(sub) && asciiLower(s[i+j]) == sub[j]; j++ {
+		}
+		if j == len(sub) {
+			return i
+		}
+	}
+	return -1
+}
+
+func asciiLower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
 }
 
 // Parse parses HTML source into a Document. The tree builder is tolerant:
@@ -351,7 +378,9 @@ func Parse(src string) *Document {
 			stack = append(stack, el)
 		case tokEndTag:
 			if t.data == "html" {
-				stack = stack[:1] // close everything back to the root
+				if len(stack) > 1 {
+					stack = stack[:1] // close everything back to the root
+				}
 				continue
 			}
 			// Find the nearest matching open element.
