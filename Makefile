@@ -28,8 +28,9 @@ bench: vet
 	$(GO) run ./cmd/rcb-bench -delta -site msn.com -out BENCH_delta.json
 
 # Brief mutation runs of the native fuzz targets (the checked-in corpora
-# under internal/dom/testdata/fuzz run on every plain `go test`). Each
-# target must be fuzzed in its own invocation.
+# under internal/dom/testdata/fuzz and internal/core/testdata/fuzz run on
+# every plain `go test`). Each target must be fuzzed in its own invocation.
 fuzz:
 	$(GO) test ./internal/dom -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 15s
 	$(GO) test ./internal/dom -run '^$$' -fuzz '^FuzzDiffApply$$' -fuzztime 15s
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUnmarshalDelta$$' -fuzztime 15s

@@ -4,7 +4,11 @@ package main
 // interval — the staleness floor PR 2 left as the dominant latency — and
 // writes a JSON snapshot (BENCH_delivery.json) demonstrating the long-poll
 // channel delivering host changes in transfer time instead of interval/2,
-// with idle traffic dropping to one request per hang.
+// with idle traffic dropping to one request per hang. The snapshot also
+// carries the upstream (action → mirror apply) staleness column: piggyback
+// actions wait for the sender's request cycle — catastrophically so when
+// the sender's long-poll is parked — while the fire-and-forget /action push
+// delivers in transfer time.
 
 import (
 	"encoding/json"
@@ -40,15 +44,24 @@ func writeDelivery(site, outPath string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	// The paper's interval (1s) against a long-poll hang comfortably past
-	// the change gap, so every change lands on a parked request.
+	// the change gap, so every change lands on a parked request. The
+	// downstream options of the first two runs match the PR 3 baseline, so
+	// those columns stay comparable; the piggyback long-poll run times
+	// fewer actions because each one deliberately waits out most of a 10s
+	// hang (the gap the push run closes).
 	runs := []struct {
 		mode core.DeliveryMode
 		opt  experiment.DeliveryOptions
 	}{
 		{core.DeliveryInterval, experiment.DeliveryOptions{
-			Interval: time.Second, Changes: 5, Gap: 100 * time.Millisecond, Idle: 2 * time.Second}},
+			Interval: time.Second, Changes: 5, Gap: 100 * time.Millisecond, Idle: 2 * time.Second,
+			Actions: 3}},
 		{core.DeliveryLongPoll, experiment.DeliveryOptions{
-			Interval: time.Second, Wait: 10 * time.Second, Changes: 5, Gap: 100 * time.Millisecond, Idle: 2 * time.Second}},
+			Interval: time.Second, Wait: 10 * time.Second, Changes: 5, Gap: 100 * time.Millisecond, Idle: 2 * time.Second,
+			Actions: 2}},
+		{core.DeliveryLongPoll, experiment.DeliveryOptions{
+			Interval: time.Second, Wait: 10 * time.Second, Changes: 5, Gap: 100 * time.Millisecond, Idle: 2 * time.Second,
+			Actions: 5, ActionPush: true}},
 	}
 	for _, run := range runs {
 		res, err := experiment.MeasureDelivery(spec, run.mode, run.opt)
@@ -56,9 +69,9 @@ func writeDelivery(site, outPath string) error {
 			return err
 		}
 		snap.Results = append(snap.Results, res)
-		fmt.Fprintf(os.Stderr, "rcb-bench: delivery/%s\tmean staleness %v\tmax %v\tpolls %d\tidle polls %d/%v\n",
+		fmt.Fprintf(os.Stderr, "rcb-bench: delivery/%s\tmean staleness %v\tmax %v\tmean action staleness %v\tpolls %d\tidle polls %d/%v\n",
 			res.Mode, res.MeanStaleness.Round(time.Microsecond), res.MaxStaleness.Round(time.Microsecond),
-			res.Polls, res.IdlePolls, res.IdleWindow)
+			res.MeanActionStaleness.Round(time.Microsecond), res.Polls, res.IdlePolls, res.IdleWindow)
 	}
 	var w io.Writer = os.Stdout
 	var f *os.File

@@ -8,6 +8,7 @@
 //	rcb-join -agent http://localhost:3000
 //	rcb-join -agent http://host.example:3000 -key secret123 -interval 500ms
 //	rcb-join -agent http://host.example:3000 -longpoll   # hanging-GET push delivery
+//	rcb-join -agent http://host.example:3000 -longpoll -actionpush   # + fire-and-forget action upstream
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "polling interval (and long-poll retry backoff)")
 	longpoll := flag.Bool("longpoll", false, "use hanging-GET delivery: the agent parks each poll until content changes")
 	wait := flag.Duration("wait", 0, "max hang per long-poll request (0 = library default)")
+	actionpush := flag.Bool("actionpush", false, "with -longpoll: POST actions to the agent the moment they occur instead of piggybacking them on the next poll")
 	fetch := flag.Bool("objects", true, "download supplementary objects")
 	flag.Parse()
 
@@ -43,6 +45,9 @@ func main() {
 	if *longpoll {
 		snip.Delivery = core.DeliveryLongPoll
 		snip.LongPollWait = *wait
+		snip.ActionPush = *actionpush
+	} else if *actionpush {
+		fmt.Fprintln(os.Stderr, "rcb-join: -actionpush requires -longpoll (interval mode keeps the paper's piggyback path); ignoring")
 	}
 	snip.OnUserAction = func(a core.Action) {
 		fmt.Printf("  mirror: %s\n", a)
@@ -52,7 +57,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rcb-join:", err)
 		os.Exit(1)
 	}
-	if *longpoll {
+	if *longpoll && snip.ActionPush {
+		fmt.Printf("joined %s; long-poll delivery + action push. Ctrl-C to leave.\n", *agentURL)
+	} else if *longpoll {
 		fmt.Printf("joined %s; long-poll delivery (hanging GET). Ctrl-C to leave.\n", *agentURL)
 	} else {
 		fmt.Printf("joined %s; polling every %v. Ctrl-C to leave.\n", *agentURL, *interval)

@@ -149,6 +149,10 @@ type Agent struct {
 	// builds counts Figure 3 pipeline executions — the observable the
 	// single-flight tests and cache-effectiveness metrics key on.
 	builds atomic.Int64
+	// actionPushes counts accepted /action upstream requests — the
+	// observable the fallback tests key on (an interval-mode or degraded
+	// snippet must never advance it).
+	actionPushes atomic.Int64
 	// diffBuilds counts dom.Diff delta computations; with the delta
 	// single-flight guard this advances once per (base, target, mode) pair.
 	diffBuilds atomic.Int64
@@ -331,10 +335,12 @@ func (a *Agent) logf(format string, args ...any) {
 // the browser address bar (paper step 2).
 func (a *Agent) URL() string { return "http://" + a.Addr }
 
-// ServeWire implements httpwire.Handler, classifying requests exactly as
-// Figure 2 does: a new connection request (GET with root URI), an object
-// request (GET with a resource URI, cache mode), or an Ajax polling request
-// (always POST, so action data can be piggybacked).
+// ServeWire implements httpwire.Handler, classifying requests as Figure 2
+// does — a new connection request (GET with root URI), an object request
+// (GET with a resource URI, cache mode), or an Ajax polling request (always
+// POST, so action data can be piggybacked) — plus one route the paper does
+// not have: the fire-and-forget action upstream (POST /action), which
+// carries participant actions without waiting for the next poll cycle.
 func (a *Agent) ServeWire(req *httpwire.Request) *httpwire.Response {
 	switch {
 	case req.Method == "GET" && req.Path() == "/":
@@ -344,6 +350,11 @@ func (a *Agent) ServeWire(req *httpwire.Request) *httpwire.Response {
 			return errResp
 		}
 		return a.servePoll(req)
+	case req.Method == "POST" && req.Path() == "/action":
+		if errResp := a.verifyAuth(req); errResp != nil {
+			return errResp
+		}
+		return a.serveAction(req)
 	case req.Method == "GET":
 		if errResp := a.verifyAuth(req); errResp != nil {
 			return errResp
@@ -426,6 +437,8 @@ func (a *Agent) serveObject(req *httpwire.Request) *httpwire.Response {
 // callback and may be invoked later from a hub wake-up goroutine.
 func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Response)) {
 	if req.Method != "POST" || req.Path() != "/poll" {
+		// Everything but a poll — including the /action upstream — answers
+		// inline: an action POST must acknowledge immediately, never park.
 		respond(a.ServeWire(req))
 		return
 	}
@@ -494,6 +507,52 @@ func (a *Agent) servePoll(req *httpwire.Request) *httpwire.Response {
 	resp, _ := a.pollResponse(p, ts, deltaOK)
 	return resp
 }
+
+// serveAction answers a fire-and-forget action upstream request: the poll
+// protocol's step 1 (data merging) split out onto its own endpoint, so a
+// participant action reaches the host the moment it occurs instead of
+// riding the next request cycle — the latency cut matters most when the
+// participant's polling request is parked on the delivery hub for seconds.
+// The actions run through the same policy/moderation pipeline as
+// piggybacked ones, and the resulting document mutation or broadcast wakes
+// parked long-polls through the existing hub paths, so mirrored
+// participants and the host see the action within one hang-wake. The
+// response is an empty acknowledgment; document content only ever travels
+// on poll responses.
+func (a *Agent) serveAction(req *httpwire.Request) *httpwire.Response {
+	pid := pidFromRequest(req)
+	var payload string
+	for _, f := range httpwire.ParseForm(string(req.Body)) {
+		switch f.Name {
+		case "actions":
+			payload = f.Value
+		case "pid":
+			if pid == "" {
+				pid = f.Value
+			}
+		}
+	}
+	p := a.participant(pid)
+	if p == nil {
+		return unknownParticipantResponse
+	}
+	actions, err := DecodeActions(payload)
+	if err != nil || len(actions) == 0 {
+		return badActionResponse
+	}
+	for _, act := range actions {
+		act.From = p.ID
+		a.handleAction(p.ID, act)
+	}
+	p.mu.Lock()
+	p.LastSeen = time.Now()
+	p.mu.Unlock()
+	a.actionPushes.Add(1)
+	return actionAckResponse
+}
+
+// ActionPushes reports how many /action upstream requests were accepted.
+func (a *Agent) ActionPushes() int64 { return a.actionPushes.Load() }
 
 // pollSetup parses a polling request and runs steps 1 and 2 of §4.1.1:
 // participant lookup, data merging, and timestamp bookkeeping. It returns
@@ -621,6 +680,8 @@ var (
 	badActionResponse = httpwire.NewResponse(400, "text/plain", []byte("bad action payload\n"))
 	// badHMACResponse answers requests that fail §3.4 authentication.
 	badHMACResponse = httpwire.NewResponse(401, "text/plain", []byte("bad hmac\n"))
+	// actionAckResponse acknowledges an accepted /action upstream request.
+	actionAckResponse = httpwire.NewResponse(200, "application/xml", nil)
 )
 
 // pidFromRequest extracts the rcbpid cookie, scanning the header in place —

@@ -18,7 +18,9 @@ type SnippetStats struct {
 	ContentPolls     int64
 	DeltaPolls       int64 // content polls answered incrementally (deltaContent)
 	DeltaFailures    int64 // delta applies abandoned for a full resync
-	ActionsSent      int64
+	ActionsSent      int64 // actions piggybacked on polling requests
+	ActionsPushed    int64 // actions delivered through the /action upstream
+	ActionFallbacks  int64 // push attempts that degraded to the piggyback queue
 	LastApplyTime    time.Duration // duration of the last Figure 5 application (the paper's M6)
 	ObjectFetches    int64
 	ObjectsFromAgent int64
@@ -93,6 +95,21 @@ type Snippet struct {
 	// zero means DefaultLongPollWait. The agent may cap it further
 	// (Agent.MaxPollWait). Ignored in interval mode.
 	LongPollWait time.Duration
+	// ActionPush enables the fire-and-forget action upstream: in long-poll
+	// mode each locally generated user action is POSTed to the agent's
+	// /action endpoint the moment it occurs, on its own connection lane, so
+	// it never waits behind a parked polling request. The action entry
+	// points then block for the push round trip (bounded by
+	// actionPushTimeout), which preserves action ordering without a worker
+	// goroutine. Interval-mode snippets ignore it and keep the paper's
+	// piggyback path (their next request is already at most one interval
+	// away, and adding a second channel would double their request rate for
+	// little gain). Any push failure falls back to the piggyback queue —
+	// the action is never lost — and suspends further pushes until a poll
+	// succeeds again. Delivery is at-least-once, exactly like the piggyback
+	// path's requeue-on-failure: an ack lost after the agent merged the
+	// action replays it on the next poll.
+	ActionPush bool
 	// FetchObjects controls whether supplementary objects are downloaded
 	// after a content update (on by default; the experiment harness turns
 	// it off when it wants to time M6 in isolation).
@@ -125,6 +142,11 @@ type Snippet struct {
 	// (Agent.Close), so Run must pace itself instead of re-issuing at
 	// network speed.
 	parkDenied bool
+	// pushSuspended records that the most recent action push failed, so
+	// later actions go straight to the piggyback queue instead of paying a
+	// doomed round trip each. A successful poll (proof the agent is
+	// reachable again) re-arms the push channel.
+	pushSuspended bool
 }
 
 // NewSnippet returns a snippet for a participant browser joining agentURL.
@@ -199,42 +221,133 @@ func (s *Snippet) QueueAction(act Action) {
 	s.mu.Unlock()
 }
 
-// ClickElement queues a click action for the element with the given
+// actionLane is the client connection lane action pushes travel on — its
+// own persistent connection, so a push never queues behind a polling
+// exchange the agent has parked.
+const actionLane = "action"
+
+// actionPushTimeout bounds the /action round trip: the endpoint answers
+// immediately by design, so anything slower than this is a dead or
+// unreachable agent and the action must fall back to the piggyback queue.
+const actionPushTimeout = 5 * time.Second
+
+// dispatch routes one locally generated user action upstream: through the
+// fire-and-forget action POST when the push channel is enabled and healthy,
+// otherwise into the piggyback queue for the next polling request. A failed
+// push falls back to the queue — degradation can delay an action, never
+// drop it — and suspends the channel so later actions don't pay a doomed
+// round trip each before a poll proves the agent reachable again.
+//
+// The fallback gives at-least-once delivery, the same contract the poll
+// path's requeue-on-transport-error already has: if the failure was a lost
+// or late ack rather than a lost request, the agent has applied the action
+// and the piggybacked retry replays it. Both windows require the agent to
+// go half-dead mid-exchange; a replay guard would need agent-side action
+// ids and is not worth it for pointer/form traffic.
+func (s *Snippet) dispatch(act Action) {
+	if !s.pushEligible() {
+		s.QueueAction(act)
+		return
+	}
+	if err := s.PushAction(act); err != nil {
+		s.mu.Lock()
+		s.pushSuspended = true
+		s.stats.ActionFallbacks++
+		s.queue = append(s.queue, act)
+		s.mu.Unlock()
+	}
+}
+
+// pushEligible reports whether the next action may use the /action
+// upstream. Interval-mode snippets never push (the paper's piggyback path
+// is their protocol), a suspended channel waits for a successful poll, and
+// a non-empty piggyback queue forces queueing so actions are never
+// reordered around earlier ones still waiting for a poll.
+func (s *Snippet) pushEligible() bool {
+	if !s.ActionPush || s.Delivery != DeliveryLongPoll {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.pushSuspended && len(s.queue) == 0
+}
+
+// PushAction sends one action to the agent's /action endpoint and waits for
+// the acknowledgment. The exchange rides the dedicated action lane, so it
+// proceeds even while this snippet's polling request is parked server-side.
+// Callers wanting the automatic piggyback fallback should go through the
+// action entry points (ClickElement, PointerMove, ...) instead.
+func (s *Snippet) PushAction(act Action) error {
+	body := httpwire.AppendForm(make([]byte, 0, 64), []httpwire.FormField{
+		{Name: "actions", Value: EncodeActions([]Action{act})},
+	})
+	target := "/action"
+	if s.auth != nil {
+		target = s.auth.Sign("POST", target, body)
+	}
+	addr, err := s.agentAddr()
+	if err != nil {
+		return err
+	}
+	req := httpwire.NewRequest("POST", target)
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	if c := s.Browser.Jar.Header(browser.HostOf(s.AgentURL + "/")); c != "" {
+		req.Header.Set("Cookie", c)
+	}
+	req.Body = body
+	resp, err := s.Browser.Client.DoLane(addr, actionLane, req, actionPushTimeout)
+	if err != nil {
+		return fmt.Errorf("rcb-snippet: action push: %w", err)
+	}
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("rcb-snippet: action push returned %d", resp.StatusCode)
+	}
+	s.mu.Lock()
+	s.stats.ActionsPushed++
+	s.mu.Unlock()
+	return nil
+}
+
+// ClickElement dispatches a click action for the element with the given
 // data-rcb path in the participant's current document — what the rewritten
-// onclick handler does in a real browser.
+// onclick handler does in a real browser. Like every action entry point it
+// goes through dispatch: pushed upstream immediately when ActionPush is
+// active, piggybacked on the next poll otherwise.
 func (s *Snippet) ClickElement(domID string) error {
 	path, err := s.rcbPathOf(domID, "")
 	if err != nil {
 		return err
 	}
-	s.QueueAction(Action{Kind: ActionClick, Target: path})
+	s.dispatch(Action{Kind: ActionClick, Target: path})
 	return nil
 }
 
-// SubmitFormByID queues a formsubmit action carrying the given fields for
-// the form with the given DOM id — what the rewritten onsubmit handler does.
+// SubmitFormByID dispatches a formsubmit action carrying the given fields
+// for the form with the given DOM id — what the rewritten onsubmit handler
+// does.
 func (s *Snippet) SubmitFormByID(domID string, fields []httpwire.FormField) error {
 	path, err := s.rcbPathOf(domID, "form")
 	if err != nil {
 		return err
 	}
-	s.QueueAction(Action{Kind: ActionFormSubmit, Target: path, Fields: fields})
+	s.dispatch(Action{Kind: ActionFormSubmit, Target: path, Fields: fields})
 	return nil
 }
 
-// InputField queues a forminput action for the field with the given DOM id.
+// InputField dispatches a forminput action for the field with the given DOM
+// id.
 func (s *Snippet) InputField(domID, value string) error {
 	path, err := s.rcbPathOf(domID, "")
 	if err != nil {
 		return err
 	}
-	s.QueueAction(Action{Kind: ActionFormInput, Target: path, Value: value})
+	s.dispatch(Action{Kind: ActionFormInput, Target: path, Value: value})
 	return nil
 }
 
-// PointerMove queues a pointer-mirroring action.
+// PointerMove dispatches a pointer-mirroring action.
 func (s *Snippet) PointerMove(x, y int) {
-	s.QueueAction(Action{Kind: ActionMouseMove, X: x, Y: y})
+	s.dispatch(Action{Kind: ActionMouseMove, X: x, Y: y})
 }
 
 // rcbPathOf finds an element by DOM id and returns its data-rcb path.
@@ -266,6 +379,15 @@ func (s *Snippet) lastParkDenied() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.parkDenied
+}
+
+// agentAddr resolves (once) and returns the agent dial address — a pure
+// function of AgentURL, shared by the polling and action-push paths.
+func (s *Snippet) agentAddr() (string, error) {
+	s.pollAddrOnce.Do(func() {
+		s.pollAddr, s.pollAddrErr = browser.AddrOf(s.AgentURL + "/")
+	})
+	return s.pollAddr, s.pollAddrErr
 }
 
 // longPollWait resolves the hang to request per poll: 0 in interval mode.
@@ -325,10 +447,7 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	if s.auth != nil {
 		target = s.auth.Sign("POST", target, body)
 	}
-	s.pollAddrOnce.Do(func() {
-		s.pollAddr, s.pollAddrErr = browser.AddrOf(s.AgentURL + "/")
-	})
-	addr, err := s.pollAddr, s.pollAddrErr
+	addr, err := s.agentAddr()
 	if err != nil {
 		return false, err
 	}
@@ -351,6 +470,11 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	if resp.StatusCode != 200 {
 		return false, fmt.Errorf("rcb-snippet: poll returned %d", resp.StatusCode)
 	}
+	// A completed poll proves the agent reachable: re-arm the action push
+	// channel if a failed push had suspended it.
+	s.mu.Lock()
+	s.pushSuspended = false
+	s.mu.Unlock()
 	// "If RCB-Agent indicates no new content with an empty response
 	// content, Ajax-Snippet simply ... send[s] a new polling request after a
 	// specified time interval."

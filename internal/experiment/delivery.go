@@ -8,9 +8,17 @@ package experiment
 // it: the participant sees a host change after transfer time, not after
 // interval/2, while idle request traffic falls from one poll per interval
 // to one per max-hang.
+//
+// The run also measures the upstream direction: a participant fires pointer
+// actions and a second (mirror) participant times how long each takes to
+// arrive. Piggyback upstream waits for the sender's next request cycle —
+// interval/2 on average in interval mode, and up to the full remaining hang
+// when the sender's long-poll is parked — while the fire-and-forget action
+// push (Snippet.ActionPush) delivers in transfer time.
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rcb/internal/browser"
@@ -40,6 +48,13 @@ type DeliveryResult struct {
 	Polls      int64         `json:"polls"`
 	IdlePolls  int64         `json:"idle_polls"`
 	IdleWindow time.Duration `json:"idle_window_ns"`
+	// ActionPush records whether the acting participant used the
+	// fire-and-forget /action upstream; Actions counts measured actions and
+	// Mean/MaxActionStaleness the action-fired-to-mirror-applied latency.
+	ActionPush          bool          `json:"action_push"`
+	Actions             int           `json:"actions"`
+	MeanActionStaleness time.Duration `json:"mean_action_staleness_ns"`
+	MaxActionStaleness  time.Duration `json:"max_action_staleness_ns"`
 	// Builds counts Figure 3 pipeline runs — with single-flight delivery
 	// this stays at one per change regardless of participant count.
 	Builds   int64         `json:"builds"`
@@ -59,6 +74,13 @@ type DeliveryOptions struct {
 	// Idle, when positive, holds the session idle after the last change
 	// and counts the polls issued in that window.
 	Idle time.Duration
+	// Actions, when positive, adds the upstream phase: a mirror participant
+	// joins and this many pointer actions are timed from fire to mirror
+	// apply.
+	Actions int
+	// ActionPush puts the acting participant on the fire-and-forget /action
+	// upstream (long-poll mode only; interval mode ignores it by design).
+	ActionPush bool
 }
 
 // MeasureDelivery runs one co-browsing session over the virtual network in
@@ -93,17 +115,55 @@ func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOp
 	snip.PollInterval = opt.Interval
 	snip.Delivery = mode
 	snip.LongPollWait = opt.Wait
+	snip.ActionPush = opt.ActionPush
 	if err := snip.Join(); err != nil {
 		return nil, err
+	}
+
+	// The upstream phase times actions against a second participant: the
+	// mirror applies the pointer action and stamps its arrival.
+	var mirror *core.Snippet
+	var amu sync.Mutex
+	arrivals := make(map[int]time.Time)
+	parkTarget := 1
+	if opt.Actions > 0 {
+		mb := browser.New("mirror.lan", corpus.Network.Dialer("mirror.lan"))
+		defer mb.Close()
+		mirror = core.NewSnippet(mb, "http://host.lan:3000", "")
+		mirror.FetchObjects = false
+		mirror.PollInterval = opt.Interval
+		mirror.Delivery = mode
+		mirror.LongPollWait = opt.Wait
+		mirror.OnUserAction = func(a core.Action) {
+			if a.Kind == core.ActionMouseMove {
+				amu.Lock()
+				if _, ok := arrivals[a.X]; !ok {
+					arrivals[a.X] = time.Now()
+				}
+				amu.Unlock()
+			}
+		}
+		if err := mirror.Join(); err != nil {
+			return nil, err
+		}
+		if mode == core.DeliveryLongPoll {
+			parkTarget = 2
+		}
 	}
 
 	stop := make(chan struct{})
 	defer close(stop)
 	go snip.Run(stop, nil)
+	if mirror != nil {
+		go mirror.Run(stop, nil)
+	}
 
 	label := "interval"
 	if mode == core.DeliveryLongPoll {
 		label = "longpoll"
+		if opt.ActionPush {
+			label = "longpoll+push"
+		}
 	}
 	res := &DeliveryResult{
 		Mode:       label,
@@ -111,22 +171,28 @@ func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOp
 		Wait:       opt.Wait,
 		Changes:    opt.Changes,
 		IdleWindow: opt.Idle,
+		ActionPush: opt.ActionPush,
+		Actions:    opt.Actions,
+	}
+	// settle waits for every long-poll participant to re-park (so the next
+	// event exercises the push path), or phase-shifts an interval-mode
+	// stimulus so the series samples the whole poll cycle uniformly.
+	settle := func(i, total int) error {
+		if mode == core.DeliveryLongPoll {
+			if err := waitCond(30*time.Second, func() bool { return agent.ParkedPolls() == parkTarget }); err != nil {
+				return err
+			}
+			time.Sleep(opt.Gap)
+			return nil
+		}
+		time.Sleep(opt.Gap + time.Duration(i)*opt.Interval/time.Duration(max(total, 1)))
+		return nil
 	}
 	start := time.Now()
 	for i := 0; i < opt.Changes; i++ {
-		// Settle: in long-poll mode wait until the snippet has re-parked,
-		// so the change exercises the push path; in interval mode add a
-		// varying phase offset so changes sample the whole poll cycle
-		// uniformly instead of locking to it.
-		if mode == core.DeliveryLongPoll {
-			if err := waitCond(10*time.Second, func() bool { return agent.ParkedPolls() == 1 }); err != nil {
-				return nil, fmt.Errorf("experiment: change %d: %w", i, err)
-			}
-			time.Sleep(opt.Gap)
-		} else {
-			time.Sleep(opt.Gap + time.Duration(i)*opt.Interval/time.Duration(max(opt.Changes, 1)))
+		if err := settle(i, opt.Changes); err != nil {
+			return nil, fmt.Errorf("experiment: change %d: %w", i, err)
 		}
-
 		before := snip.Stats().ContentPolls
 		t0 := time.Now()
 		if err := bumpHostDoc(host, i); err != nil {
@@ -143,6 +209,36 @@ func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOp
 	}
 	if opt.Changes > 0 {
 		res.MeanStaleness /= time.Duration(opt.Changes)
+	}
+	for i := 0; i < opt.Actions; i++ {
+		if err := settle(i, opt.Actions); err != nil {
+			return nil, fmt.Errorf("experiment: action %d: %w", i, err)
+		}
+		x := 1<<20 + i // out of the way of any page coordinate
+		t0 := time.Now()
+		snip.PointerMove(x, 0)
+		// Piggyback upstream may wait out the sender's whole remaining hang
+		// before the action even leaves the participant.
+		deadline := opt.Wait + 30*time.Second
+		err := waitCond(deadline, func() bool {
+			amu.Lock()
+			_, ok := arrivals[x]
+			amu.Unlock()
+			return ok
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: action %d never reached the mirror: %w", i, err)
+		}
+		amu.Lock()
+		staleness := arrivals[x].Sub(t0)
+		amu.Unlock()
+		res.MeanActionStaleness += staleness
+		if staleness > res.MaxActionStaleness {
+			res.MaxActionStaleness = staleness
+		}
+	}
+	if opt.Actions > 0 {
+		res.MeanActionStaleness /= time.Duration(opt.Actions)
 	}
 	if opt.Idle > 0 {
 		idleStart := snip.Stats().Polls

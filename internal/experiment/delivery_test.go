@@ -68,3 +68,51 @@ func TestMeasureDeliveryStaleness(t *testing.T) {
 		t.Errorf("long-poll run recorded %d builds for %d changes", longpollRes.Builds, longpollRes.Changes)
 	}
 }
+
+// TestMeasureDeliveryActionStaleness runs the upstream half of the ablation
+// at a compressed scale: with the fire-and-forget /action push, an action
+// reaches the mirror in transfer time; over the piggyback path it waits for
+// the sender's request cycle — the full remaining hang when the sender's
+// long-poll is parked.
+func TestMeasureDeliveryActionStaleness(t *testing.T) {
+	spec, ok := sites.SiteByName("google.com")
+	if !ok {
+		t.Fatal("no google.com site spec")
+	}
+	const wait = 600 * time.Millisecond
+
+	pushRes, err := MeasureDelivery(spec, core.DeliveryLongPoll, DeliveryOptions{
+		Interval:   150 * time.Millisecond,
+		Wait:       wait,
+		Gap:        20 * time.Millisecond,
+		Actions:    3,
+		ActionPush: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piggyRes, err := MeasureDelivery(spec, core.DeliveryLongPoll, DeliveryOptions{
+		Interval: 150 * time.Millisecond,
+		Wait:     wait,
+		Gap:      20 * time.Millisecond,
+		Actions:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("push:      mean=%v max=%v", pushRes.MeanActionStaleness, pushRes.MaxActionStaleness)
+	t.Logf("piggyback: mean=%v max=%v", piggyRes.MeanActionStaleness, piggyRes.MaxActionStaleness)
+
+	// Pushed actions never wait for the hang; even under parallel test load
+	// they must land well under half the hang.
+	if pushRes.MeanActionStaleness >= wait/2 {
+		t.Errorf("pushed action staleness %v is not under half the hang (%v)", pushRes.MeanActionStaleness, wait/2)
+	}
+	if pushRes.MeanActionStaleness >= piggyRes.MeanActionStaleness {
+		t.Errorf("push staleness %v not better than piggyback %v",
+			pushRes.MeanActionStaleness, piggyRes.MeanActionStaleness)
+	}
+	if pushRes.Mode != "longpoll+push" || !pushRes.ActionPush {
+		t.Errorf("push run labeled %q (ActionPush=%v)", pushRes.Mode, pushRes.ActionPush)
+	}
+}

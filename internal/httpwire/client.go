@@ -14,9 +14,17 @@ import (
 type Dialer func(addr string) (net.Conn, error)
 
 // Client issues HTTP requests over persistent connections, one live
-// connection per destination address. It mirrors a browser's keep-alive
-// behaviour closely enough for RCB's traffic patterns (repeated polls to one
-// host, object fetches to a handful of origins).
+// connection per destination address and lane. It mirrors a browser's
+// keep-alive behaviour closely enough for RCB's traffic patterns (repeated
+// polls to one host, object fetches to a handful of origins).
+//
+// Exchanges on one connection are strictly serialized (HTTP/1.1 without
+// pipelining), so a request the server parks — a hanging-GET long-poll —
+// holds its connection for the whole hang and every request queued behind it
+// waits it out. Callers that must overtake a parked exchange (RCB's
+// fire-and-forget action upstream) use DoLane with a dedicated lane name: a
+// lane is an independent persistent connection to the same address, so its
+// exchanges interleave freely with the default lane's.
 type Client struct {
 	Dial Dialer
 
@@ -28,7 +36,7 @@ type Client struct {
 	ReadTimeout time.Duration
 
 	mu    sync.Mutex
-	conns map[string]*clientConn
+	conns map[string]*clientConn // keyed by connKey(addr, lane)
 }
 
 type clientConn struct {
@@ -57,17 +65,40 @@ func (c *Client) Do(addr string, req *Request) (*Response, error) {
 // deadline expiry is returned as a net.Error with Timeout() == true and is
 // never retried (retrying would double the hang).
 func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	return c.DoLane(addr, "", req, timeout)
+}
+
+// connKey maps an (addr, lane) pair onto the connection-pool key. The
+// default lane keys on the bare address, so lane-unaware callers share its
+// connection; '\x00' cannot occur in an address, so named lanes never
+// collide with addresses.
+func connKey(addr, lane string) string {
+	if lane == "" {
+		return addr
+	}
+	return addr + "\x00" + lane
+}
+
+// DoLane is DoTimeout on a named connection lane: the client keeps one
+// persistent connection per (addr, lane) pair, and exchanges on different
+// lanes never queue behind each other on one socket. Do/DoTimeout use the
+// default lane (""). RCB's snippet puts its fire-and-forget action POSTs on
+// their own lane because the default lane's current exchange may be a poll
+// the agent parked for seconds (hanging GET) — an upstream action must ride
+// a concurrent second connection, not wait out the hang.
+func (c *Client) DoLane(addr, lane string, req *Request, timeout time.Duration) (*Response, error) {
 	if timeout <= 0 {
 		timeout = c.ReadTimeout
 	}
+	key := connKey(addr, lane)
 	for attempt := 0; ; attempt++ {
-		cc, cached, err := c.getConn(addr)
+		cc, cached, err := c.getConn(addr, key)
 		if err != nil {
 			return nil, err
 		}
 		resp, err := cc.roundTrip(req, timeout)
 		if err != nil {
-			c.dropConn(addr, cc)
+			c.dropConn(key, cc)
 			var ne net.Error
 			timedOut := errors.As(err, &ne) && ne.Timeout()
 			if cached && attempt == 0 && !timedOut {
@@ -76,7 +107,7 @@ func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*R
 			return nil, fmt.Errorf("httpwire: %s %s to %s: %w", req.Method, req.Target, addr, err)
 		}
 		if resp.WantsClose() {
-			c.dropConn(addr, cc)
+			c.dropConn(key, cc)
 		}
 		return resp, nil
 	}
@@ -95,22 +126,24 @@ func (c *Client) Post(addr, target, ctype string, body []byte) (*Response, error
 	return c.Do(addr, req)
 }
 
-// Close closes every pooled connection.
+// Close closes every pooled connection, across all lanes.
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for addr, cc := range c.conns {
+	for key, cc := range c.conns {
 		cc.conn.Close()
-		delete(c.conns, addr)
+		delete(c.conns, key)
 	}
 }
 
-func (c *Client) getConn(addr string) (cc *clientConn, cached bool, err error) {
+// getConn returns the pooled connection for key, dialing addr when none is
+// cached (a lane's connection dials the same address as the default one).
+func (c *Client) getConn(addr, key string) (cc *clientConn, cached bool, err error) {
 	c.mu.Lock()
 	if c.conns == nil {
 		c.conns = make(map[string]*clientConn)
 	}
-	if cc := c.conns[addr]; cc != nil {
+	if cc := c.conns[key]; cc != nil {
 		c.mu.Unlock()
 		return cc, true, nil
 	}
@@ -124,18 +157,18 @@ func (c *Client) getConn(addr string) (cc *clientConn, cached bool, err error) {
 	c.mu.Lock()
 	// Another goroutine may have raced a connection in; keep ours anyway and
 	// replace (the old one is closed to avoid a leak).
-	if old := c.conns[addr]; old != nil {
+	if old := c.conns[key]; old != nil {
 		old.conn.Close()
 	}
-	c.conns[addr] = cc
+	c.conns[key] = cc
 	c.mu.Unlock()
 	return cc, false, nil
 }
 
-func (c *Client) dropConn(addr string, cc *clientConn) {
+func (c *Client) dropConn(key string, cc *clientConn) {
 	c.mu.Lock()
-	if c.conns[addr] == cc {
-		delete(c.conns, addr)
+	if c.conns[key] == cc {
+		delete(c.conns, key)
 	}
 	c.mu.Unlock()
 	cc.conn.Close()
