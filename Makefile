@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench fuzz
+.PHONY: build test vet race bench fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,15 @@ bench: vet
 	$(GO) run ./cmd/rcb-bench -fanout -out BENCH_fanout.json
 	$(GO) run ./cmd/rcb-bench -delivery -out BENCH_delivery.json
 	$(GO) run ./cmd/rcb-bench -delta -site msn.com -out BENCH_delta.json
+
+# Fault-injection harness: seeded netsim chaos scenarios (lossy/mobile
+# links, server restarts, link flaps, forced disconnects) asserting
+# byte-identical convergence, exactly-once actions, and close-reason
+# discipline — race-enabled, full 64-scenario sweep. CI runs the -short
+# smoke slice; this target is the long local/nightly form. The -timeout
+# guarantees a goroutine dump instead of a silent CI hang.
+chaos: vet
+	$(GO) test ./internal/core -race -count=1 -run TestChaosFaultInjection -timeout 300s
 
 # Brief mutation runs of the native fuzz targets (the checked-in corpora
 # under internal/dom/testdata/fuzz and internal/core/testdata/fuzz run on

@@ -34,6 +34,11 @@ func main() {
 	demo := flag.String("demo", "", "animated demo: 'maps' or 'shop'")
 	key := flag.String("key", "", "session secret; enables HMAC authentication")
 	cache := flag.Bool("cache", true, "serve cached objects to participants (cache mode)")
+	maxParticipants := flag.Int("max-participants", 64, "admission cap: refuse joins beyond this many participants (SESSION_FULL); 0 = unlimited")
+	maxParked := flag.Int("max-parked", 256, "cap on concurrently parked long-polls; the oldest reader beyond it is shed (OVERCOMMITTED); 0 = unlimited")
+	shedWatermarks := flag.String("shed-watermarks", "",
+		"shed-ladder watermarks as 'signal=high[/low],...' with signals parked, outbox, heap\n"+
+			"(heap takes size suffixes, e.g. 'parked=200/100,heap=512M'); low defaults to high/2; empty disables the ladder")
 	flag.Parse()
 
 	corpus, err := sites.NewCorpus()
@@ -52,6 +57,15 @@ func main() {
 	defer host.Close()
 	agent := core.NewAgent(host, selfAddr)
 	agent.DefaultCacheMode = *cache
+	agent.MaxParticipants = *maxParticipants
+	agent.MaxParkedPolls = *maxParked
+	if *shedWatermarks != "" {
+		w, err := core.ParseShedWatermarks(*shedWatermarks)
+		if err != nil {
+			fatal(err)
+		}
+		agent.Shed = w
+	}
 	agent.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	if *key != "" {
 		agent.Auth = core.NewAuthenticator(*key)

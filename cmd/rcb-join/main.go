@@ -54,6 +54,9 @@ func main() {
 	}
 
 	if err := snip.Join(); err != nil {
+		if r := core.CloseReasonOf(err); r != core.CloseNone {
+			fmt.Fprintf(os.Stderr, "rcb-join: agent refused the join: %s (retryable: %v)\n", r, r.Retryable())
+		}
 		fmt.Fprintln(os.Stderr, "rcb-join:", err)
 		os.Exit(1)
 	}
@@ -73,9 +76,21 @@ func main() {
 		close(stop)
 	}()
 
-	go snip.Run(stop, func(err error) {
-		fmt.Fprintln(os.Stderr, "poll:", err)
-	})
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		snip.Run(stop, func(err error) {
+			if r := core.CloseReasonOf(err); r != core.CloseNone {
+				if r.Retryable() {
+					fmt.Fprintf(os.Stderr, "session closed by agent: %s — rejoining\n", r)
+				} else {
+					fmt.Fprintf(os.Stderr, "session closed by agent: %s — giving up\n", r)
+				}
+				return
+			}
+			fmt.Fprintln(os.Stderr, "poll:", err)
+		})
+	}()
 
 	// Report each applied update until interrupted.
 	last := int64(0)
@@ -88,6 +103,12 @@ func main() {
 			fmt.Printf("left session: %d polls, %d updates, %d objects fetched\n",
 				st.Polls, st.ContentPolls, st.ObjectFetches)
 			return
+		case <-runDone:
+			// The loop only exits on its own for a non-retryable close.
+			st := snip.Stats()
+			fmt.Printf("session over (%s): %d polls, %d updates, %d rejoins\n",
+				st.LastCloseReason, st.Polls, st.ContentPolls, st.Rejoins)
+			os.Exit(1)
 		case <-tick.C:
 		}
 		if t := snip.DocTime(); t != last {

@@ -18,6 +18,22 @@ type ObjectFetch struct {
 	FromCache bool       // satisfied locally without network traffic
 }
 
+// StatusError reports a page load the server answered with a non-success
+// status. It preserves the status code and response headers so protocol
+// clients layered on the browser (the RCB snippet) can read rejection
+// metadata — e.g. a co-browsing agent's close reason — instead of pattern
+// matching an error string.
+type StatusError struct {
+	Browser    string
+	URL        string
+	StatusCode int
+	Header     httpwire.Header
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("browser %s: GET %s returned %d", e.Browser, e.URL, e.StatusCode)
+}
+
 // LoadStats captures the measurable work of loading or rendering a page:
 // the document transaction and every object fetch. The experiment harness
 // replays these through netsim.LinkModel to produce the paper's M1–M4.
@@ -270,7 +286,7 @@ func (b *Browser) loadPage(absURL string, req *httpwire.Request) (*LoadStats, er
 		}
 	}
 	if resp.StatusCode != 200 {
-		return nil, fmt.Errorf("browser %s: GET %s returned %d", b.Name, absURL, resp.StatusCode)
+		return nil, &StatusError{Browser: b.Name, URL: absURL, StatusCode: resp.StatusCode, Header: resp.Header}
 	}
 	stats.URL = absURL
 	stats.DocTxn = txn

@@ -61,6 +61,13 @@ type Action struct {
 	From string `json:"from,omitempty"`
 	// Seq orders actions within a session.
 	Seq int64 `json:"seq,omitempty"`
+	// CID and CSeq identify the action for replay filtering: the snippet
+	// stamps each action with its client ID and a client-local sequence
+	// number, and the agent accepts each (CID, CSeq) pair once, so the
+	// at-least-once upstream (push fallback, poll retries, rejoins) is
+	// exactly-once at the policy. Empty CID bypasses the filter.
+	CID  string `json:"cid,omitempty"`
+	CSeq int64  `json:"cseq,omitempty"`
 }
 
 // String renders a compact human-readable description.

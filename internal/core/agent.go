@@ -103,15 +103,51 @@ type Agent struct {
 	// specifies. Deltas are also skipped per poll unless the request opts in
 	// with a delta=1 field, so foreign interval-mode clients never see them.
 	DisableDelta bool
+	// MaxParticipants caps concurrent participants; further connection
+	// requests are refused with SessionFull. Zero means unlimited.
+	MaxParticipants int
+	// MaxParkedPolls caps concurrently parked long-polls; polls beyond the
+	// cap answer immediately with a retry-after hint instead of parking.
+	// Zero means unlimited.
+	MaxParkedPolls int
+	// MaxAckLag, when positive, disconnects (StaleReader) participants
+	// whose acknowledged docTime lags the current build by more than this
+	// many builds — a slow reader that can no longer catch up must not pin
+	// agent state.
+	MaxAckLag int
+	// MaxParkAge, when positive, bounds one parked poll's hang below
+	// MaxPollWait; a poll that parks the full age without the participant
+	// ever being woken marks the reader stale and disconnects it with
+	// StaleReader.
+	MaxParkAge time.Duration
+	// Shed configures the load-shedding ladder (see ShedLevel); the zero
+	// value disables shedding.
+	Shed ShedWatermarks
+	// ShedRetryAfter is the server-assigned retry interval handed to
+	// clients while the ladder forces interval polling. Zero means
+	// DefaultShedRetryAfter. Set before serving traffic.
+	ShedRetryAfter time.Duration
+	// ReadHeap overrides the heap-usage probe for the shed ladder (tests
+	// inject pressure); nil reads runtime.MemStats.HeapAlloc.
+	ReadHeap func() uint64
 	// Logf, when non-nil, receives diagnostics.
 	Logf func(format string, args ...any)
 
 	// pmu guards the participant table and ID counter. Polls only take the
 	// read lock; per-participant fields are guarded by each entry's own
-	// mutex.
-	pmu          sync.RWMutex
-	participants map[string]*participantState
-	nextPID      int
+	// mutex. closedReasons remembers why recently removed participants were
+	// disconnected, so their next request carries the reason instead of a
+	// bare "unknown participant".
+	pmu           sync.RWMutex
+	participants  map[string]*participantState
+	nextPID       int
+	closedReasons map[string]CloseReason
+	closedOrder   []string
+
+	// dmu guards the action replay filter (dedup.go).
+	dmu        sync.Mutex
+	dedup      map[string]*dedupState
+	dedupOrder []string
 
 	// omu guards the object mapping tables (agent path ↔ absolute URL).
 	omu     sync.Mutex
@@ -158,7 +194,26 @@ type Agent struct {
 	diffBuilds atomic.Int64
 	// deltasServed counts polls answered with a deltaContent message.
 	deltasServed atomic.Int64
+
+	// Overload-control observables: every admission or degradation decision
+	// advances a counter.
+	joinRefusals     atomic.Int64 // joins refused (cap or shed ladder)
+	parkRefusals     atomic.Int64 // long-polls answered immediately (cap or shed ladder)
+	staleKicks       atomic.Int64 // participants disconnected as StaleReader
+	duplicateActions atomic.Int64 // actions dropped by the replay filter
+	outboxDepth      atomic.Int64 // queued mirror actions across all outboxes
+
+	// shed holds the load-shedding ladder state (overload.go).
+	shed shedState
+
+	// buildHist remembers recent build docTimes per mode — the ruler the
+	// stale-reader reaper measures ack lag against. Guarded by cmu.
+	buildHist map[bool][]int64
 }
+
+// maxBuildHist bounds the per-mode build history; MaxAckLag beyond this is
+// effectively "never stale by lag".
+const maxBuildHist = 64
 
 // deltaEntry records the delta decision for one (base → target) pair: d is
 // nil when a delta exists but was not worth sending (oversized, or the
@@ -296,6 +351,9 @@ func NewAgent(b *browser.Browser, addr string) *Agent {
 		prevPrepared:  make(map[bool]*PreparedContent),
 		delta:         make(map[bool]*deltaEntry),
 		deltaInflight: make(map[bool]*deltaCall),
+		closedReasons: make(map[string]CloseReason),
+		dedup:         make(map[string]*dedupState),
+		buildHist:     make(map[bool][]int64),
 		hub:           newDeliveryHub(),
 	}
 	b.OnChange(func() { a.hub.notifyAllDebounced(a.WakeDebounce) })
@@ -378,10 +436,23 @@ func (a *Agent) verifyAuth(req *httpwire.Request) *httpwire.Response {
 // serveInitialPage answers a new connection request with the initial HTML
 // page whose head element contains Ajax-Snippet (paper §4.1.1). A
 // participant identity is issued as a cookie so subsequent polls and object
-// requests can be attributed.
+// requests can be attributed. Admission control runs first: a session at
+// its participant cap — or an agent shedding joins — refuses with
+// SessionFull and a retry-after hint rather than registering state it
+// cannot serve.
 func (a *Agent) serveInitialPage(_ *httpwire.Request) *httpwire.Response {
+	a.maybeEvalLoad()
+	if a.ShedLevel() >= ShedRefuseJoins {
+		a.joinRefusals.Add(1)
+		return a.joinRefusedResponse()
+	}
 	mode := a.DefaultCacheMode
 	a.pmu.Lock()
+	if a.MaxParticipants > 0 && len(a.participants) >= a.MaxParticipants {
+		a.pmu.Unlock()
+		a.joinRefusals.Add(1)
+		return a.joinRefusedResponse()
+	}
 	a.nextPID++
 	pid := "p" + strconv.Itoa(a.nextPID)
 	a.participants[pid] = &participantState{
@@ -451,6 +522,30 @@ func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Res
 		respond(errResp)
 		return
 	}
+	a.maybeEvalLoad()
+	// Overload enforcement: at ShedInterval and above — or past the
+	// parked-poll cap — a would-be long-poll answers immediately and
+	// carries the server-assigned retry interval, degrading the client to
+	// the paper's interval polling until pressure clears.
+	parkRefused := false
+	if wait > 0 {
+		if a.ShedLevel() >= ShedInterval {
+			parkRefused = true
+		} else if a.MaxParkedPolls > 0 && a.hub.parkedCount() >= a.MaxParkedPolls {
+			parkRefused = true
+		}
+		if parkRefused {
+			a.parkRefusals.Add(1)
+			wait = 0
+		}
+	}
+	// A slow-reader bound below the poll cap: the park completes early and
+	// marks the reader stale if nothing woke it by then.
+	staleOnTimeout := false
+	if a.MaxParkAge > 0 && wait > a.MaxParkAge {
+		wait = a.MaxParkAge
+		staleOnTimeout = true
+	}
 	pid := p.ID
 	for {
 		// Snapshot before the check: park refuses a stale snapshot, so an
@@ -459,18 +554,23 @@ func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Res
 		snap := a.hub.snapshot(pid)
 		resp, hasNew := a.pollResponse(p, ts, deltaOK)
 		if hasNew || wait <= 0 {
+			if !hasNew && parkRefused {
+				resp = a.shedEmptyResponse()
+			}
 			respond(resp)
 			return
 		}
-		w := &pollWaiter{pid: pid, ts: ts, deltaOK: deltaOK}
+		w := &pollWaiter{pid: pid, ts: ts, deltaOK: deltaOK, staleOnTimeout: staleOnTimeout}
 		w.fulfill = func(reply *pollReply) { respond(a.wakePoll(w, reply)) }
 		parked, retry := a.hub.park(w, snap, wait)
 		if parked {
 			return
 		}
 		if !retry {
-			// Hub closed: degrade to the paper's immediate empty response.
-			respond(resp)
+			// Hub closed: the agent is shutting down. Complete with the
+			// empty response marked AgentClosing so the snippet backs off
+			// instead of immediately re-parking against a dying server.
+			respond(agentClosingPollResponse)
 			return
 		}
 	}
@@ -482,13 +582,25 @@ func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Res
 // re-check rides the single-flight guard, so N waiters waking on one
 // document change still cost exactly one BuildContent).
 func (a *Agent) wakePoll(w *pollWaiter, reply *pollReply) *httpwire.Response {
-	if reply.timedOut || reply.closed {
+	if reply.closed {
+		// Agent shutdown: tell the snippet why so it backs off.
+		return agentClosingPollResponse
+	}
+	if reply.timedOut {
+		if w.staleOnTimeout {
+			// The poll aged out below the normal cap (MaxParkAge): nothing
+			// woke this participant for the whole bound, so treat it as a
+			// reader too slow to keep pinning agent state.
+			a.staleKicks.Add(1)
+			a.DisconnectWith(w.pid, CloseStaleReader)
+			return closeResponse(CloseStaleReader)
+		}
 		return emptyPollResponse
 	}
 	p := a.participant(w.pid)
 	if p == nil {
 		// Disconnected while parked: the same answer a live poll would get.
-		return unknownParticipantResponse
+		return a.disconnectedResponse(w.pid)
 	}
 	resp, _ := a.pollResponse(p, w.ts, w.deltaOK)
 	return resp
@@ -534,13 +646,13 @@ func (a *Agent) serveAction(req *httpwire.Request) *httpwire.Response {
 	}
 	p := a.participant(pid)
 	if p == nil {
-		return unknownParticipantResponse
+		return a.disconnectedResponse(pid)
 	}
 	actions, err := DecodeActions(payload)
 	if err != nil || len(actions) == 0 {
 		return badActionResponse
 	}
-	for _, act := range actions {
+	for _, act := range a.freshActions(actions) {
 		act.From = p.ID
 		a.handleAction(p.ID, act)
 	}
@@ -583,14 +695,16 @@ func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time
 	}
 	p := a.participant(pid)
 	if p == nil {
-		return nil, 0, 0, false, unknownParticipantResponse
+		return nil, 0, 0, false, a.disconnectedResponse(pid)
 	}
 
-	// Step 1: data merging.
+	// Step 1: data merging. The replay filter runs first so a retried
+	// upstream (push fallback, rejoin re-send) merges each action once.
 	actions, err := DecodeActions(actionPayload)
 	if err != nil {
 		return nil, 0, 0, false, badActionResponse
 	}
+	actions = a.freshActions(actions)
 	for _, act := range actions {
 		act.From = p.ID
 		a.handleAction(p.ID, act)
@@ -635,6 +749,9 @@ func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp 
 	outbox := p.outbox
 	p.outbox = nil
 	p.mu.Unlock()
+	if len(outbox) > 0 {
+		a.outboxDepth.Add(-int64(len(outbox)))
+	}
 
 	prep, err := a.contentForMode(mode)
 	if err != nil {
@@ -643,7 +760,9 @@ func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp 
 	}
 	if prep != nil && prep.docTime > ts {
 		// ts == 0 is a first poll: the participant has no base to patch.
-		if deltaOK && !a.DisableDelta && ts > 0 {
+		// The shed ladder's first step turns deltas off — the full snapshot
+		// costs bandwidth but releases the retained delta-base build.
+		if deltaOK && !a.DisableDelta && ts > 0 && a.ShedLevel() < ShedNoDelta {
 			if d := a.deltaFor(mode, ts, prep); d != nil {
 				a.deltasServed.Add(1)
 				if len(outbox) == 0 {
@@ -672,9 +791,14 @@ func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp 
 var (
 	// emptyPollResponse answers every no-new-content poll.
 	emptyPollResponse = httpwire.NewResponse(200, "application/xml", nil)
-	// unknownParticipantResponse answers polls from unregistered (or
-	// disconnected) participants.
-	unknownParticipantResponse = httpwire.NewResponse(403, "text/plain", []byte("unknown participant; reconnect\n"))
+	// agentClosingPollResponse completes parked polls when the agent shuts
+	// down: still the §4.1.1 empty response (no error — the poll succeeded),
+	// but marked AgentClosing so the snippet backs off before re-polling.
+	agentClosingPollResponse = func() *httpwire.Response {
+		r := httpwire.NewResponse(200, "application/xml", nil)
+		r.Header.Set(CloseReasonHeader, CloseAgentClosing.String())
+		return r
+	}()
 	// badActionResponse answers polls whose piggybacked actions fail to
 	// decode.
 	badActionResponse = httpwire.NewResponse(400, "text/plain", []byte("bad action payload\n"))
@@ -683,6 +807,31 @@ var (
 	// actionAckResponse acknowledges an accepted /action upstream request.
 	actionAckResponse = httpwire.NewResponse(200, "application/xml", nil)
 )
+
+// disconnectedResponse answers a request from a pid the agent has no record
+// of, carrying the close reason when the disconnect is recent enough to
+// remember (CloseUnknown otherwise — e.g. the agent restarted).
+func (a *Agent) disconnectedResponse(pid string) *httpwire.Response {
+	return closeResponse(a.closeReasonFor(pid))
+}
+
+// closeReasonFor looks up why pid was disconnected.
+func (a *Agent) closeReasonFor(pid string) CloseReason {
+	a.pmu.RLock()
+	r := a.closedReasons[pid]
+	a.pmu.RUnlock()
+	if r == CloseNone {
+		return CloseUnknown
+	}
+	return r
+}
+
+// joinRefusedResponse is the SessionFull refusal with the retry hint.
+func (a *Agent) joinRefusedResponse() *httpwire.Response {
+	resp := closeResponse(CloseSessionFull)
+	resp.Header.Set(RetryAfterHeader, strconv.FormatInt(a.shedRetryAfter().Milliseconds(), 10))
+	return resp
+}
 
 // pidFromRequest extracts the rcbpid cookie, scanning the header in place —
 // no per-poll slice allocation.
@@ -736,14 +885,70 @@ func (a *Agent) SetParticipantMode(pid string, cacheMode bool) error {
 
 // Disconnect removes a participant (leave at any time, §3.3). A long-poll
 // the participant has parked wakes immediately and completes with the same
-// 403 a live poll from an unknown participant gets, so the client learns of
-// the disconnect without waiting out the hang.
-func (a *Agent) Disconnect(pid string) {
+// 403 a live poll from an unknown participant gets — now carrying the
+// Leave close reason — so the client learns of the disconnect without
+// waiting out the hang.
+func (a *Agent) Disconnect(pid string) { a.DisconnectWith(pid, CloseLeave) }
+
+// Kick ejects a participant by host decision. Unlike Leave-class removals
+// the reason is non-retryable: the snippet must not rejoin.
+func (a *Agent) Kick(pid string) { a.DisconnectWith(pid, CloseKicked) }
+
+// DisconnectWith removes a participant recording why, so the participant's
+// next request (or its parked long-poll, woken immediately) answers with
+// the reason instead of a bare 403. rememberedCloses bounds the memory.
+func (a *Agent) DisconnectWith(pid string, reason CloseReason) {
+	if reason == CloseNone {
+		reason = CloseLeave
+	}
 	a.pmu.Lock()
+	p := a.participants[pid]
 	delete(a.participants, pid)
+	if p != nil {
+		if len(a.closedOrder) >= rememberedCloses {
+			delete(a.closedReasons, a.closedOrder[0])
+			a.closedOrder = a.closedOrder[1:]
+		}
+		if _, known := a.closedReasons[pid]; !known {
+			a.closedOrder = append(a.closedOrder, pid)
+		}
+		a.closedReasons[pid] = reason
+	}
 	a.pmu.Unlock()
+	if p != nil {
+		p.mu.Lock()
+		dropped := len(p.outbox)
+		p.outbox = nil
+		p.mu.Unlock()
+		if dropped > 0 {
+			a.outboxDepth.Add(-int64(dropped))
+		}
+		a.logf("rcb-agent: participant %s disconnected: %s", pid, reason)
+	}
 	a.hub.notifyPID(pid)
 }
+
+// rememberedCloses bounds the disconnect-reason memory.
+const rememberedCloses = 1024
+
+// JoinRefusals reports connection requests refused by admission control or
+// the shed ladder.
+func (a *Agent) JoinRefusals() int64 { return a.joinRefusals.Load() }
+
+// ParkRefusals reports long-polls answered immediately because of the
+// parked-poll cap or the shed ladder.
+func (a *Agent) ParkRefusals() int64 { return a.parkRefusals.Load() }
+
+// StaleKicks reports participants disconnected as stale readers (ack lag or
+// park age).
+func (a *Agent) StaleKicks() int64 { return a.staleKicks.Load() }
+
+// DuplicateActions reports actions dropped by the replay filter.
+func (a *Agent) DuplicateActions() int64 { return a.duplicateActions.Load() }
+
+// OutboxDepth reports the total queued mirror actions across participants —
+// one of the shed ladder's load signals.
+func (a *Agent) OutboxDepth() int64 { return a.outboxDepth.Load() }
 
 // ContentBuilds reports how many times the Figure 3 pipeline has executed —
 // with the single-flight guard this advances once per (document version,
@@ -779,6 +984,7 @@ func (a *Agent) contentForMode(cacheMode bool) (*PreparedContent, error) {
 
 	prep, err := a.BuildContent(cacheMode)
 	a.cmu.Lock()
+	var lagFloor int64
 	if err == nil {
 		if cur := a.prepared[cacheMode]; cur == nil || prep.version >= cur.version {
 			if cur != nil && prep.version > cur.version && !a.DisableDelta {
@@ -790,15 +996,53 @@ func (a *Agent) contentForMode(cacheMode bool) (*PreparedContent, error) {
 				delete(a.delta, cacheMode)
 			}
 			a.prepared[cacheMode] = prep
+			// Record the build for the stale-reader ruler and compute the
+			// oldest docTime a reader may still acknowledge.
+			hist := append(a.buildHist[cacheMode], prep.docTime)
+			if len(hist) > maxBuildHist {
+				hist = hist[len(hist)-maxBuildHist:]
+			}
+			a.buildHist[cacheMode] = hist
+			if a.MaxAckLag > 0 && len(hist) > a.MaxAckLag {
+				lagFloor = hist[len(hist)-1-a.MaxAckLag]
+			}
 		}
 	}
 	if a.inflight[cacheMode] == call {
 		delete(a.inflight, cacheMode)
 	}
 	a.cmu.Unlock()
+	if lagFloor > 0 {
+		a.reapStaleReaders(cacheMode, lagFloor)
+	}
 	call.prep, call.err = prep, err
 	close(call.done)
 	return prep, err
+}
+
+// reapStaleReaders disconnects (StaleReader) every cacheMode-matching
+// participant whose acknowledged docTime has fallen behind lagFloor — the
+// docTime of the build MaxAckLag versions back. A reader that far behind is
+// consuming outbox memory and wake fan-outs without keeping up; kicking it
+// with a retryable reason converts it into a fresh full-snapshot join.
+// Participants that never polled (LastDocTime 0) are exempt: they have no
+// lag yet, only latency.
+func (a *Agent) reapStaleReaders(cacheMode bool, lagFloor int64) {
+	var stale []string
+	a.pmu.RLock()
+	for pid, p := range a.participants {
+		p.mu.Lock()
+		lagging := p.CacheMode == cacheMode && p.LastDocTime > 0 && p.LastDocTime < lagFloor
+		p.mu.Unlock()
+		if lagging {
+			stale = append(stale, pid)
+		}
+	}
+	a.pmu.RUnlock()
+	for _, pid := range stale {
+		a.staleKicks.Add(1)
+		a.DisconnectWith(pid, CloseStaleReader)
+	}
 }
 
 // BuildContent runs the full Figure 3 generation pipeline against the
@@ -1153,19 +1397,25 @@ func (a *Agent) applyClick(act Action) error {
 // push out immediately instead of riding the next interval.
 func (a *Agent) Broadcast(act Action) {
 	a.pmu.RLock()
-	defer a.pmu.RUnlock()
 	for _, p := range a.participants {
 		if p.ID == act.From {
 			continue
 		}
 		p.mu.Lock()
+		before := len(p.outbox)
 		p.outbox = append(p.outbox, act)
 		if len(p.outbox) > maxOutbox {
 			p.outbox = p.outbox[len(p.outbox)-maxOutbox:]
 		}
+		after := len(p.outbox)
 		p.mu.Unlock()
+		if d := after - before; d != 0 {
+			a.outboxDepth.Add(int64(d))
+		}
 		a.hub.notifyPID(p.ID)
 	}
+	a.pmu.RUnlock()
+	a.maybeEvalLoad()
 }
 
 // HostAction reports a host-side interaction (pointer move, scroll) for

@@ -1,0 +1,78 @@
+package core
+
+// Action deduplication. The snippet's upstream is at-least-once: a pushed
+// action whose response is lost is retried on the poll channel, and a
+// rejoining snippet re-sends its unacknowledged queue. The agent therefore
+// filters actions by (client ID, client sequence) before handing them to
+// the policy, making delivery exactly-once as far as page state is
+// concerned. Actions without a CID (older snippets, hand-rolled clients)
+// bypass the filter.
+
+const (
+	// dedupWindow bounds how many recent sequence numbers are remembered
+	// per client; anything at or below maxSeq-dedupWindow is treated as a
+	// duplicate (the client never retries that far back).
+	dedupWindow = 1024
+	// maxDedupClients bounds per-agent memory; the oldest client's state
+	// is evicted first.
+	maxDedupClients = 256
+)
+
+// dedupState is one client's replay filter.
+type dedupState struct {
+	maxSeq int64
+	recent map[int64]struct{}
+	order  []int64 // FIFO of entries in recent, for eviction
+}
+
+func (d *dedupState) fresh(seq int64) bool {
+	if seq <= d.maxSeq-dedupWindow {
+		return false
+	}
+	if _, dup := d.recent[seq]; dup {
+		return false
+	}
+	d.recent[seq] = struct{}{}
+	d.order = append(d.order, seq)
+	if len(d.order) > dedupWindow {
+		delete(d.recent, d.order[0])
+		d.order = d.order[1:]
+	}
+	if seq > d.maxSeq {
+		d.maxSeq = seq
+	}
+	return true
+}
+
+// freshActions filters out actions the agent has already accepted from the
+// same client, returning the survivors in order. Safe for concurrent use.
+func (a *Agent) freshActions(actions []Action) []Action {
+	out := actions[:0]
+	a.dmu.Lock()
+	defer a.dmu.Unlock()
+	for _, act := range actions {
+		if act.CID == "" {
+			out = append(out, act)
+			continue
+		}
+		st := a.dedup[act.CID]
+		if st == nil {
+			if a.dedup == nil {
+				a.dedup = make(map[string]*dedupState)
+			}
+			if len(a.dedupOrder) >= maxDedupClients {
+				delete(a.dedup, a.dedupOrder[0])
+				a.dedupOrder = a.dedupOrder[1:]
+			}
+			st = &dedupState{recent: make(map[int64]struct{})}
+			a.dedup[act.CID] = st
+			a.dedupOrder = append(a.dedupOrder, act.CID)
+		}
+		if st.fresh(act.CSeq) {
+			out = append(out, act)
+		} else {
+			a.duplicateActions.Add(1)
+		}
+	}
+	return out
+}

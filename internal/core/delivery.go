@@ -35,8 +35,11 @@ type pollWaiter struct {
 	pid     string
 	ts      int64
 	deltaOK bool // the parked request opted into deltaContent responses
-	fulfill func(reply *pollReply)
-	timer   *time.Timer
+	// staleOnTimeout marks a park bounded by Agent.MaxParkAge: a timeout
+	// means the reader aged out and is disconnected as StaleReader.
+	staleOnTimeout bool
+	fulfill        func(reply *pollReply)
+	timer          *time.Timer
 }
 
 // pollReply tells a woken waiter why it woke, so the fulfiller can choose

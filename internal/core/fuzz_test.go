@@ -45,7 +45,7 @@ func FuzzUnmarshalDelta(f *testing.F) {
 	empty := &DeltaContent{DocTime: 2, BaseDocTime: 1}
 	f.Add(empty.Marshal())
 	f.Add([]byte(deltaPreamble + "<docTime>9</docTime>\n<baseDocTime>8</baseDocTime>\n<bodyPatch><![CDATA[1;T1:0:2:hi]]></bodyPatch>\n" + closeDeltaContent))
-	f.Add([]byte(deltaPreamble + "<docTime>9</docTime>"))         // truncated message
+	f.Add([]byte(deltaPreamble + "<docTime>9</docTime>"))           // truncated message
 	f.Add([]byte("<?xml version='1.0'?><newContent></newContent>")) // wrong message type
 	f.Add([]byte("2;A1:05;"))                                       // bare codec fragment, short attrs
 	f.Add([]byte("1;I3:0.0-1;e3:div0;0;"))                          // negative insert index

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcb/internal/browser"
@@ -16,14 +18,19 @@ type SnippetStats struct {
 	Polls            int64
 	EmptyPolls       int64
 	ContentPolls     int64
-	DeltaPolls       int64 // content polls answered incrementally (deltaContent)
-	DeltaFailures    int64 // delta applies abandoned for a full resync
-	ActionsSent      int64 // actions piggybacked on polling requests
-	ActionsPushed    int64 // actions delivered through the /action upstream
-	ActionFallbacks  int64 // push attempts that degraded to the piggyback queue
+	DeltaPolls       int64         // content polls answered incrementally (deltaContent)
+	DeltaFailures    int64         // delta applies abandoned for a full resync
+	ActionsSent      int64         // actions piggybacked on polling requests
+	ActionsPushed    int64         // actions delivered through the /action upstream
+	ActionFallbacks  int64         // push attempts that degraded to the piggyback queue
+	PollFailures     int64         // polls that returned an error (transport or terminal)
+	Rejoins          int64         // automatic rejoin-and-resync cycles completed
 	LastApplyTime    time.Duration // duration of the last Figure 5 application (the paper's M6)
 	ObjectFetches    int64
 	ObjectsFromAgent int64
+	// LastCloseReason is the most recent close reason the agent sent —
+	// why this snippet was dropped, refused, or told to back off.
+	LastCloseReason CloseReason
 }
 
 // DeliveryMode selects how a snippet paces its polling requests.
@@ -121,6 +128,25 @@ type Snippet struct {
 	// OnUserAction, when non-nil, receives mirrored actions of other users
 	// (pointer moves, etc.).
 	OnUserAction func(Action)
+	// ClientID identifies this snippet for the agent's action replay
+	// filter; every action is stamped with it plus a client-local sequence
+	// number. Auto-generated when left empty. Stable across rejoins, so a
+	// re-sent queue is deduplicated even under a new participant identity.
+	ClientID string
+	// RetryBase/RetryMax shape the unified retry backoff (poll, action
+	// push, join): delays double from RetryBase up to RetryMax with
+	// half-to-full jitter, and reset on success. RetryBase defaults to
+	// PollInterval, RetryMax to 30 seconds.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryRand overrides the jitter source with a deterministic one
+	// (tests); nil uses math/rand. Called only under the snippet's lock.
+	RetryRand func() float64
+	// DisableRejoin turns off the automatic rejoin-and-resync Run performs
+	// after a retryable close reason; the error is still reported and the
+	// loop keeps polling with its stale identity (useful for harnesses
+	// that manage identity themselves).
+	DisableRejoin bool
 
 	auth *Authenticator
 
@@ -145,8 +171,25 @@ type Snippet struct {
 	// pushSuspended records that the most recent action push failed, so
 	// later actions go straight to the piggyback queue instead of paying a
 	// doomed round trip each. A successful poll (proof the agent is
-	// reachable again) re-arms the push channel.
+	// reachable again) re-arms the push channel immediately; otherwise a
+	// single probe push is allowed once pushResumeAt passes (half-open).
 	pushSuspended bool
+	pushResumeAt  time.Time
+	// agentClosing records that the last poll was answered with the
+	// AgentClosing marker: the server completed it deliberately while
+	// shutting down, so Run backs off instead of re-parking immediately.
+	agentClosing bool
+	// retryAfter is the server-assigned retry interval from the last poll
+	// (shed ladder); zero when the server sent none.
+	retryAfter time.Duration
+	// rejoinNeeded is set when the agent terminated the session with a
+	// retryable close reason; Run re-joins and resyncs before polling on.
+	rejoinNeeded bool
+	cseq         int64
+	clientID     string
+	pollBackoff  *Backoff
+	pushBackoff  *Backoff
+	joinBackoff  *Backoff
 }
 
 // NewSnippet returns a snippet for a participant browser joining agentURL.
@@ -195,6 +238,16 @@ func (s *Snippet) LastObjectFetches() []browser.ObjectFetch {
 func (s *Snippet) Join() error {
 	stats, err := s.Browser.Navigate(s.AgentURL + "/")
 	if err != nil {
+		var se *browser.StatusError
+		if errors.As(err, &se) {
+			if reason := ParseCloseReason(se.Header.Get(CloseReasonHeader)); reason != CloseNone {
+				s.mu.Lock()
+				s.stats.LastCloseReason = reason
+				s.mu.Unlock()
+				return fmt.Errorf("rcb-snippet: join %s: %w", s.AgentURL,
+					&CloseError{Reason: reason, Status: se.StatusCode})
+			}
+		}
 		return fmt.Errorf("rcb-snippet: join %s: %w", s.AgentURL, err)
 	}
 	_ = stats
@@ -217,8 +270,87 @@ func (s *Snippet) Join() error {
 // information of a co-browsing participant can be directly piggybacked").
 func (s *Snippet) QueueAction(act Action) {
 	s.mu.Lock()
+	s.stampLocked(&act)
 	s.queue = append(s.queue, act)
 	s.mu.Unlock()
+}
+
+// snippetSeq distinguishes auto-generated client IDs within a process.
+var snippetSeq atomic.Int64
+
+// stampLocked assigns the replay-filter identity (CID, CSeq) to an action
+// that doesn't have one yet. Retries and requeues keep the original stamp —
+// that is the whole point.
+func (s *Snippet) stampLocked(act *Action) {
+	if act.CID != "" {
+		return
+	}
+	if s.clientID == "" {
+		if s.ClientID != "" {
+			s.clientID = s.ClientID
+		} else {
+			s.clientID = "c" + strconv.FormatInt(time.Now().UnixNano(), 36) +
+				"-" + strconv.FormatInt(snippetSeq.Add(1), 10)
+		}
+	}
+	act.CID = s.clientID
+	s.cseq++
+	act.CSeq = s.cseq
+}
+
+// backoffsLocked lazily builds the three retry schedules; separate
+// instances, because a flapping push channel must not inflate poll retry
+// delays (and vice versa).
+func (s *Snippet) backoffsLocked() (poll, push, join *Backoff) {
+	if s.pollBackoff == nil {
+		base := s.RetryBase
+		if base <= 0 {
+			base = s.PollInterval
+		}
+		s.pollBackoff = newBackoff(base, s.RetryMax, s.RetryRand)
+		s.pushBackoff = newBackoff(base, s.RetryMax, s.RetryRand)
+		s.joinBackoff = newBackoff(base, s.RetryMax, s.RetryRand)
+	}
+	return s.pollBackoff, s.pushBackoff, s.joinBackoff
+}
+
+// LastCloseReason reports the most recent close reason received from the
+// agent (CloseNone when the session never saw one).
+func (s *Snippet) LastCloseReason() CloseReason {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.LastCloseReason
+}
+
+// RejoinNeeded reports whether the agent closed this session with a
+// retryable reason and the snippet is waiting to rejoin.
+func (s *Snippet) RejoinNeeded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejoinNeeded
+}
+
+// Rejoin re-registers with the agent and resets sync state so the next
+// poll fetches a full snapshot — the recovery path after a retryable close
+// reason (agent restart, stale-reader kick, expired identity). The
+// piggyback queue survives: unacknowledged actions are re-sent under the
+// same (CID, CSeq) stamps and the agent's replay filter keeps delivery
+// exactly-once.
+func (s *Snippet) Rejoin() error {
+	if err := s.Join(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.docTime = 0
+	s.memo = ApplyMemo{}
+	s.pushSuspended = false
+	s.rejoinNeeded = false
+	s.agentClosing = false
+	s.stats.Rejoins++
+	_, _, join := s.backoffsLocked()
+	join.Reset()
+	s.mu.Unlock()
+	return nil
 }
 
 // actionLane is the client connection lane action pushes travel on — its
@@ -245,6 +377,9 @@ const actionPushTimeout = 5 * time.Second
 // go half-dead mid-exchange; a replay guard would need agent-side action
 // ids and is not worth it for pointer/form traffic.
 func (s *Snippet) dispatch(act Action) {
+	s.mu.Lock()
+	s.stampLocked(&act)
+	s.mu.Unlock()
 	if !s.pushEligible() {
 		s.QueueAction(act)
 		return
@@ -252,24 +387,44 @@ func (s *Snippet) dispatch(act Action) {
 	if err := s.PushAction(act); err != nil {
 		s.mu.Lock()
 		s.pushSuspended = true
+		_, push, _ := s.backoffsLocked()
+		s.pushResumeAt = time.Now().Add(push.Next())
 		s.stats.ActionFallbacks++
+		if reason := CloseReasonOf(err); reason != CloseNone {
+			s.stats.LastCloseReason = reason
+		}
 		s.queue = append(s.queue, act)
 		s.mu.Unlock()
+		return
 	}
+	s.mu.Lock()
+	s.pushSuspended = false
+	_, push, _ := s.backoffsLocked()
+	push.Reset()
+	s.mu.Unlock()
 }
 
 // pushEligible reports whether the next action may use the /action
 // upstream. Interval-mode snippets never push (the paper's piggyback path
-// is their protocol), a suspended channel waits for a successful poll, and
-// a non-empty piggyback queue forces queueing so actions are never
-// reordered around earlier ones still waiting for a poll.
+// is their protocol), and a non-empty piggyback queue forces queueing so
+// actions are never reordered around earlier ones still waiting for a
+// poll. A suspended channel re-arms on the next successful poll, or — when
+// the agent stays unreachable on the poll path too — admits one probe push
+// per backoff step (half-open): the probe's success re-opens the channel,
+// its failure doubles the pause.
 func (s *Snippet) pushEligible() bool {
 	if !s.ActionPush || s.Delivery != DeliveryLongPoll {
 		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return !s.pushSuspended && len(s.queue) == 0
+	if len(s.queue) != 0 {
+		return false
+	}
+	if !s.pushSuspended {
+		return true
+	}
+	return !s.pushResumeAt.After(time.Now())
 }
 
 // PushAction sends one action to the agent's /action endpoint and waits for
@@ -300,6 +455,10 @@ func (s *Snippet) PushAction(act Action) error {
 		return fmt.Errorf("rcb-snippet: action push: %w", err)
 	}
 	if resp.StatusCode != 200 {
+		if reason := ParseCloseReason(resp.Header.Get(CloseReasonHeader)); reason != CloseNone {
+			return fmt.Errorf("rcb-snippet: action push: %w",
+				&CloseError{Reason: reason, Status: resp.StatusCode})
+		}
 		return fmt.Errorf("rcb-snippet: action push returned %d", resp.StatusCode)
 	}
 	s.mu.Lock()
@@ -415,6 +574,8 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	s.stats.Polls++
 	s.stats.ActionsSent += int64(len(actions))
 	s.parkDenied = false
+	s.agentClosing = false
+	s.retryAfter = 0
 	s.mu.Unlock()
 
 	fields := []httpwire.FormField{{Name: "ts", Value: strconv.FormatInt(ts, 10)}}
@@ -461,19 +622,39 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	resp, err := s.Browser.Client.DoTimeout(addr, req, readTimeout)
 	if err != nil {
 		// Failed polls requeue their actions so interaction is not lost on
-		// a transient drop.
+		// a transient drop. Replays of actions the agent did merge before
+		// the failure are absorbed by its (CID, CSeq) filter.
 		s.mu.Lock()
 		s.queue = append(actions, s.queue...)
+		s.stats.PollFailures++
 		s.mu.Unlock()
 		return false, fmt.Errorf("rcb-snippet: poll: %w", err)
 	}
 	if resp.StatusCode != 200 {
+		s.mu.Lock()
+		s.queue = append(actions, s.queue...)
+		s.stats.PollFailures++
+		reason := ParseCloseReason(resp.Header.Get(CloseReasonHeader))
+		if reason != CloseNone {
+			s.stats.LastCloseReason = reason
+			if reason.Retryable() {
+				s.rejoinNeeded = true
+			}
+		}
+		s.mu.Unlock()
+		if reason != CloseNone {
+			return false, fmt.Errorf("rcb-snippet: poll: %w",
+				&CloseError{Reason: reason, Status: resp.StatusCode})
+		}
 		return false, fmt.Errorf("rcb-snippet: poll returned %d", resp.StatusCode)
 	}
 	// A completed poll proves the agent reachable: re-arm the action push
 	// channel if a failed push had suspended it.
 	s.mu.Lock()
 	s.pushSuspended = false
+	if s.pushBackoff != nil {
+		s.pushBackoff.Reset()
+	}
 	s.mu.Unlock()
 	// "If RCB-Agent indicates no new content with an empty response
 	// content, Ajax-Snippet simply ... send[s] a new polling request after a
@@ -486,9 +667,23 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 		// is under the threshold reads as refusing too — the resulting
 		// interval pacing is the right degradation there as well.
 		denied := wait > 0 && time.Since(pollStart) < parkDeniedThreshold
+		closing := ParseCloseReason(resp.Header.Get(CloseReasonHeader)) == CloseAgentClosing
+		var retryAfter time.Duration
+		if v := resp.Header.Get(RetryAfterHeader); v != "" {
+			if ms, perr := strconv.ParseInt(v, 10, 64); perr == nil && ms > 0 {
+				retryAfter = time.Duration(ms) * time.Millisecond
+			}
+		}
 		s.mu.Lock()
 		s.stats.EmptyPolls++
-		s.parkDenied = denied
+		// An explicit AgentClosing marker is authoritative: the push
+		// channel is gone however fast the answer arrived.
+		s.parkDenied = denied || (wait > 0 && closing)
+		s.agentClosing = closing
+		if closing {
+			s.stats.LastCloseReason = CloseAgentClosing
+		}
+		s.retryAfter = retryAfter
 		s.mu.Unlock()
 		return false, nil
 	}
@@ -845,12 +1040,18 @@ func attrsEqual(a, b []dom.Attr) bool {
 // Ajax request is triggered after the response to the previous one is
 // received"). In interval mode (default) the loop sleeps PollInterval
 // between polls; in long-poll mode it re-issues the next request
-// immediately — the agent provides the pacing by parking the request — and
-// falls back to a PollInterval sleep only after a failed poll, so a
-// crashed agent is retried at the interval rate instead of hot-looped.
-// Errors are delivered to errf when non-nil and the loop continues — a
-// dropped poll must not end the session (its piggybacked actions are
-// requeued by PollOnce).
+// immediately — the agent provides the pacing by parking the request.
+//
+// Failure handling is the unified backoff ladder: consecutive poll errors
+// (and AgentClosing answers) double the retry delay from RetryBase up to
+// RetryMax with jitter, resetting the moment a poll succeeds; a
+// server-assigned Rcb-Retry-After is honored as the floor. When the agent
+// closes the session with a retryable reason (restart, stale-reader kick,
+// shed OVERCOMMITTED), Run rejoins and resyncs automatically — a
+// non-retryable close (LEAVE, KICKED) ends the loop, the one error that
+// genuinely means the session is over. Other errors are delivered to errf
+// when non-nil and the loop continues — a dropped poll must not end the
+// session (its piggybacked actions are requeued by PollOnce).
 func (s *Snippet) Run(stop <-chan struct{}, errf func(error)) {
 	interval := s.PollInterval
 	if interval <= 0 {
@@ -864,25 +1065,71 @@ func (s *Snippet) Run(stop <-chan struct{}, errf func(error)) {
 			return
 		case <-timer.C:
 		}
+		if !s.DisableRejoin && s.RejoinNeeded() {
+			if err := s.Rejoin(); err != nil {
+				if errf != nil {
+					errf(err)
+				}
+				if r := CloseReasonOf(err); r != CloseNone && !r.Retryable() {
+					return // the agent refused re-admission for good
+				}
+				s.mu.Lock()
+				_, _, join := s.backoffsLocked()
+				d := join.Next()
+				s.mu.Unlock()
+				resetTimer(timer, d)
+				continue
+			}
+		}
 		_, err := s.PollOnce()
 		if err != nil && errf != nil {
 			errf(err)
 		}
-		delay := interval
-		if err == nil && s.Delivery == DeliveryLongPoll && !s.lastParkDenied() {
-			delay = 0 // hanging GET completed; re-park immediately
+		if r := CloseReasonOf(err); r != CloseNone && !r.Retryable() {
+			return // deliberate removal (LEAVE/KICKED): the session is over
 		}
-		// Stop-and-drain before Reset: a poll can take arbitrarily long (a
-		// parked long-poll, a slow WAN transfer), and Reset on a timer that
-		// might have a pending fire is how loops double-poll or strand a
-		// timer goroutine. The select above consumed one fire; Stop plus a
-		// non-blocking drain makes the Reset safe on every path.
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(delay)
+		resetTimer(timer, s.runDelay(err, interval))
 	}
+}
+
+// runDelay picks the pause before the next polling request: zero after a
+// healthy long-poll completion (the agent paces by parking), the jittered
+// poll backoff after a failure or an AgentClosing answer, the server's
+// Rcb-Retry-After when it exceeds the local choice, and PollInterval for
+// everything else (interval mode, park denials).
+func (s *Snippet) runDelay(err error, interval time.Duration) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	poll, _, _ := s.backoffsLocked()
+	var d time.Duration
+	switch {
+	case err != nil, s.agentClosing:
+		d = poll.Next()
+	default:
+		poll.Reset()
+		if s.Delivery == DeliveryLongPoll && !s.parkDenied {
+			d = 0 // hanging GET completed; re-park immediately
+		} else {
+			d = interval
+		}
+	}
+	if s.retryAfter > d {
+		d = s.retryAfter // the agent asked for explicit pacing (shed ladder)
+	}
+	return d
+}
+
+// resetTimer re-arms a loop timer whose previous fire was consumed.
+// Stop-and-drain before Reset: a poll can take arbitrarily long (a parked
+// long-poll, a slow WAN transfer), and Reset on a timer that might have a
+// pending fire is how loops double-poll or strand a timer goroutine. Stop
+// plus a non-blocking drain makes the Reset safe on every path.
+func resetTimer(timer *time.Timer, d time.Duration) {
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(d)
 }

@@ -155,10 +155,15 @@ func (c *Client) getConn(addr, key string) (cc *clientConn, cached bool, err err
 	}
 	cc = &clientConn{conn: conn, br: bufio.NewReaderSize(conn, 8<<10)}
 	c.mu.Lock()
-	// Another goroutine may have raced a connection in; keep ours anyway and
-	// replace (the old one is closed to avoid a leak).
+	// Another goroutine may have raced a connection in. The pooled one wins:
+	// it may already be mid-exchange (roundTrip holds only the per-conn
+	// mutex, not c.mu), so closing it here would kill a healthy in-flight
+	// request. Our fresh dial is the one nobody is using yet — close it and
+	// join the winner.
 	if old := c.conns[key]; old != nil {
-		old.conn.Close()
+		c.mu.Unlock()
+		conn.Close()
+		return old, true, nil
 	}
 	c.conns[key] = cc
 	c.mu.Unlock()

@@ -1,0 +1,113 @@
+package httpwire
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFailedLaneExchangeDropsPooledConnection is the half-dead-socket guard
+// for the action upstream: when an exchange on a named lane fails (here a
+// read timeout against a parked server), the lane's pooled connection must
+// be discarded so the next push dials fresh instead of writing into a
+// socket whose previous response is still owed.
+func TestFailedLaneExchangeDropsPooledConnection(t *testing.T) {
+	h := &parkingHandler{}
+	addr, _ := startTestServer(t, h)
+	var dials atomic.Int32
+	c := NewClient(func(a string) (net.Conn, error) {
+		dials.Add(1)
+		return net.Dial("tcp", a)
+	})
+	defer c.Close()
+
+	// Pool the lane's connection with a healthy exchange.
+	if _, err := c.DoLane(addr, "action", NewRequest("GET", "/prime"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("priming took %d dials, want 1", n)
+	}
+	// Fail the next exchange on the same lane: the server parks it and the
+	// read deadline trips. Timeouts are never retried, so the error must
+	// surface AND the pooled connection must go.
+	if _, err := c.DoLane(addr, "action", NewRequest("GET", "/park"), 50*time.Millisecond); err == nil {
+		t.Fatal("expected the parked lane exchange to time out")
+	}
+	c.mu.Lock()
+	_, stillPooled := c.conns[connKey(addr, "action")]
+	c.mu.Unlock()
+	if stillPooled {
+		t.Fatal("failed lane exchange left its half-dead connection in the pool")
+	}
+	// The next push rides a fresh dial and completes normally.
+	resp, err := c.DoLane(addr, "action", NewRequest("GET", "/after"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("follow-up push got status %d", resp.StatusCode)
+	}
+	if n := dials.Load(); n != 2 {
+		t.Fatalf("follow-up push reused a dropped connection (%d dials, want 2)", n)
+	}
+	h.Release(NewResponse(200, "text/plain", nil))
+}
+
+// TestDialRaceKeepsInFlightConnection pins the getConn race: two requests
+// on the same lane miss the pool simultaneously and both dial. The loser
+// must close its OWN fresh socket and join the winner's — the old behavior
+// (replace the pooled entry and close the previous one) killed the winner's
+// connection while its long-poll exchange was parked on it.
+func TestDialRaceKeepsInFlightConnection(t *testing.T) {
+	h := &parkingHandler{}
+	addr, _ := startTestServer(t, h)
+
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var dials atomic.Int32
+	c := NewClient(func(a string) (net.Conn, error) {
+		entered <- struct{}{}
+		<-release // hold both racing dials until each has committed to dialing
+		dials.Add(1)
+		return net.Dial("tcp", a)
+	})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Do(addr, NewRequest("GET", "/park"))
+			errs <- err
+		}()
+	}
+	<-entered
+	<-entered
+	close(release)
+
+	// The pool winner's request parks server-side; the loser queues behind
+	// it on the shared connection. Release twice, once per exchange.
+	waitFor(t, "first racing request to park", func() bool { return h.parkedCount() == 1 })
+	h.Release(NewResponse(200, "text/plain", []byte("one")))
+	waitFor(t, "second racing request to park", func() bool { return h.parkedCount() == 1 })
+	h.Release(NewResponse(200, "text/plain", []byte("two")))
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("racing request failed: %v (dial loser closed the in-flight connection?)", err)
+		}
+	}
+	c.mu.Lock()
+	pooled := len(c.conns)
+	c.mu.Unlock()
+	if pooled != 1 {
+		t.Fatalf("pool holds %d connections after the race, want 1", pooled)
+	}
+}

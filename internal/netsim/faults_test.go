@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// lossPositions writes one byte at a time until the link resets the
+// connection, returning how many writes succeeded.
+func lossPositions(t *testing.T, link Link, seed int64) int {
+	t.Helper()
+	client, server := NewConnPairSeeded(link, "a", "b", seed)
+	defer client.Close()
+	defer server.Close()
+	for i := 0; i < 10_000; i++ {
+		if _, err := client.Write([]byte{byte(i)}); err != nil {
+			if !errors.Is(err, ErrReset) {
+				t.Fatalf("write %d failed with %v, want ErrReset", i, err)
+			}
+			return i
+		}
+	}
+	t.Fatalf("no reset within 10k writes at LossRate %v", link.LossRate)
+	return -1
+}
+
+func TestLossIsSeededAndDeterministic(t *testing.T) {
+	link := Link{LossRate: 0.05}
+	a := lossPositions(t, link, 42)
+	b := lossPositions(t, link, 42)
+	if a != b {
+		t.Fatalf("same seed diverged: reset after %d vs %d writes", a, b)
+	}
+	c := lossPositions(t, link, 43)
+	d := lossPositions(t, link, 44)
+	if a == c && a == d {
+		t.Fatalf("three different seeds all reset after %d writes; loss is not seed-driven", a)
+	}
+}
+
+func TestResetBreaksBothEndpoints(t *testing.T) {
+	client, server := NewConnPairSeeded(Link{LossRate: 1}, "a", "b", 1)
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write on LossRate=1 link = %v, want ErrReset", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := client.Read(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("client read after reset = %v, want ErrClosed", err)
+	}
+	if _, err := server.Read(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("server read after reset = %v, want ErrClosed", err)
+	}
+	if _, err := server.Write([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("server write after reset = %v, want ErrClosed", err)
+	}
+}
+
+func TestJitterPreservesOrderAndContent(t *testing.T) {
+	link := Link{Latency: time.Millisecond, Jitter: 3 * time.Millisecond}
+	client, server := NewConnPairSeeded(link, "a", "b", 7)
+	defer client.Close()
+	defer server.Close()
+
+	var want bytes.Buffer
+	for i := 0; i < 32; i++ {
+		chunk := bytes.Repeat([]byte{byte('a' + i%26)}, 5)
+		want.Write(chunk)
+		if _, err := client.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.Close()
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("jittered link reordered or corrupted data:\ngot  %q\nwant %q", got, want.Bytes())
+	}
+}
+
+func TestNetworkSeededDialsReplay(t *testing.T) {
+	run := func(seed int64) int {
+		n := NewNetwork()
+		n.SetSeed(seed)
+		n.SetLinkPolicy(func(string, string) Link { return Link{LossRate: 0.05} })
+		l, err := n.Listen("srv:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go io.Copy(io.Discard, c)
+			}
+		}()
+		conn, err := n.Dial("cli", "srv:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		for i := 0; i < 10_000; i++ {
+			if _, err := conn.Write([]byte{1}); err != nil {
+				return i
+			}
+		}
+		t.Fatal("no reset within 10k writes")
+		return -1
+	}
+	if a, b := run(9), run(9); a != b {
+		t.Fatalf("seeded network diverged: %d vs %d", a, b)
+	}
+}
+
+func TestResetConnsKillsLiveFlows(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan interface{ Read([]byte) (int, error) }, 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	conn, err := n.Dial("cli", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvSide := <-accepted
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ResetConns("srv:1"); got != 1 {
+		t.Fatalf("ResetConns reset %d conns, want 1", got)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after flap = %v, want ErrClosed", err)
+	}
+	buf := make([]byte, 8)
+	if _, err := srvSide.Read(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("server read after flap = %v, want ErrClosed", err)
+	}
+	// Already-dead conns are pruned, not double-reset.
+	if got := n.ResetConns("srv:1"); got != 0 {
+		t.Fatalf("second ResetConns reset %d conns, want 0", got)
+	}
+}

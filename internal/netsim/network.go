@@ -19,6 +19,19 @@ type Network struct {
 	linkFor func(fromHost, toAddr string) Link
 	// blocked, when non-nil, vetoes dials (NAT reachability rules).
 	blocked func(fromHost, toAddr string) bool
+	// seed, when set, derives a deterministic fault seed per dial so lossy
+	// and jittery links replay identically across runs.
+	seed    int64
+	seeded  bool
+	dialSeq int64
+	// conns records live dialed connections so a test can reset the flows
+	// to one address (a link flap that kills established TCP connections).
+	conns []dialedConn
+}
+
+type dialedConn struct {
+	toAddr string
+	client *Conn
 }
 
 // NewNetwork returns an empty virtual internet where every path defaults to
@@ -51,6 +64,17 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 	return l, nil
 }
 
+// SetSeed makes every subsequent dial derive its fault randomness (loss,
+// jitter) deterministically from seed and the dial's ordinal, so a fault
+// scenario replays identically given the same dial sequence.
+func (n *Network) SetSeed(seed int64) {
+	n.mu.Lock()
+	n.seed = seed
+	n.seeded = true
+	n.dialSeq = 0
+	n.mu.Unlock()
+}
+
 // Dial connects fromHost to toAddr through the configured link profile.
 // Dials vetoed by a reachability rule (DenyDialTo) fail as unreachable.
 func (n *Network) Dial(fromHost, toAddr string) (net.Conn, error) {
@@ -58,6 +82,9 @@ func (n *Network) Dial(fromHost, toAddr string) (net.Conn, error) {
 	l := n.listeners[toAddr]
 	profile := n.linkFor(fromHost, toAddr)
 	blocked := n.blocked != nil && n.blocked(fromHost, toAddr)
+	seeded, seed := n.seeded, n.seed
+	n.dialSeq++
+	dialSeq := n.dialSeq
 	n.mu.Unlock()
 	if blocked {
 		return nil, fmt.Errorf("netsim: host %s unreachable from %s (NAT)", toAddr, fromHost)
@@ -65,12 +92,52 @@ func (n *Network) Dial(fromHost, toAddr string) (net.Conn, error) {
 	if l == nil {
 		return nil, fmt.Errorf("netsim: connection refused: no listener on %s", toAddr)
 	}
-	client, server := NewConnPair(profile, fromHost, toAddr)
+	var client, server *Conn
+	if seeded {
+		client, server = NewConnPairSeeded(profile, fromHost, toAddr, seed*0x5DEECE66D+dialSeq)
+	} else {
+		client, server = NewConnPair(profile, fromHost, toAddr)
+	}
 	if err := l.deliver(server); err != nil {
 		client.Close()
 		return nil, err
 	}
+	n.mu.Lock()
+	live := n.conns[:0]
+	for _, dc := range n.conns {
+		if !dc.client.dead.Load() {
+			live = append(live, dc)
+		}
+	}
+	n.conns = append(live, dialedConn{toAddr: toAddr, client: client})
+	n.mu.Unlock()
 	return client, nil
+}
+
+// ResetConns abruptly resets every live connection dialed to toAddr,
+// modeling a link flap or middlebox failure that kills established flows
+// while the listener itself stays up. It returns how many connections were
+// reset.
+func (n *Network) ResetConns(toAddr string) int {
+	n.mu.Lock()
+	var victims []*Conn
+	live := n.conns[:0]
+	for _, dc := range n.conns {
+		if dc.client.dead.Load() {
+			continue
+		}
+		if dc.toAddr == toAddr {
+			victims = append(victims, dc.client)
+			continue
+		}
+		live = append(live, dc)
+	}
+	n.conns = live
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.reset()
+	}
+	return len(victims)
 }
 
 // Dialer returns an httpwire-compatible dial function bound to fromHost.

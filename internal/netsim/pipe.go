@@ -14,13 +14,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ErrClosed is returned for operations on closed connections or listeners.
 var ErrClosed = errors.New("netsim: closed")
+
+// ErrReset is returned by a write the link "lost": the simulated TCP flow is
+// torn down abruptly, and both endpoints see their subsequent operations fail.
+var ErrReset = errors.New("netsim: connection reset")
 
 // Link describes one direction-pair of a simulated network path.
 type Link struct {
@@ -30,17 +36,29 @@ type Link struct {
 	UpBps float64
 	// DownBps is server→client bandwidth in bytes per second (0 = unlimited).
 	DownBps float64
+	// Jitter adds a uniformly distributed 0..Jitter extra delay per write
+	// on top of Latency. Delivery stays in order (TCP semantics): a chunk
+	// never arrives before one queued ahead of it.
+	Jitter time.Duration
+	// LossRate is the per-write probability (0..1) that the connection is
+	// reset instead of carrying the data. Modeling loss as a flow reset —
+	// rather than a silently dropped segment — matches what an HTTP client
+	// on a flaky mobile link observes: the exchange dies and the transport
+	// reconnects.
+	LossRate float64
 }
 
-// Scaled returns a copy of l with latency divided by factor and bandwidth
-// multiplied by it — used to run integration tests against realistic shapes
-// in a fraction of real time.
+// Scaled returns a copy of l with latency (and jitter) divided by factor and
+// bandwidth multiplied by it — used to run integration tests against
+// realistic shapes in a fraction of real time. LossRate is time-independent
+// and carries over unchanged.
 func (l Link) Scaled(factor float64) Link {
 	if factor <= 0 {
 		return l
 	}
 	out := l
 	out.Latency = time.Duration(float64(l.Latency) / factor)
+	out.Jitter = time.Duration(float64(l.Jitter) / factor)
 	if l.UpBps > 0 {
 		out.UpBps = l.UpBps * factor
 	}
@@ -57,9 +75,47 @@ var (
 	// WAN models the residential DSL pair: 1.5 Mbps down, 384 Kbps up, with
 	// a typical 2009 coast-to-coast RTT of ~80 ms (40 ms one way).
 	WAN = Link{Latency: 40 * time.Millisecond, UpBps: 48e3, DownBps: 187.5e3}
+	// Mobile models a 2009-era cellular data link (think N810 over 3G):
+	// high, variable latency and tight asymmetric bandwidth.
+	Mobile = Link{Latency: 150 * time.Millisecond, UpBps: 64e3, DownBps: 400e3, Jitter: 60 * time.Millisecond}
 	// Instant is an unshaped link for functional tests.
 	Instant = Link{}
 )
+
+// faultState holds the seeded randomness one connection pair draws its loss
+// and jitter decisions from. Both endpoints share one state so a pair's
+// fault sequence is reproducible from a single seed.
+type faultState struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	lossRate float64
+	jitter   time.Duration
+}
+
+func newFaultState(link Link, seed int64) *faultState {
+	if link.LossRate <= 0 && link.Jitter <= 0 {
+		return nil // fault-free links skip the lock on every write
+	}
+	return &faultState{rng: rand.New(rand.NewSource(seed)), lossRate: link.LossRate, jitter: link.Jitter}
+}
+
+func (f *faultState) drawLoss() bool {
+	if f == nil || f.lossRate <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < f.lossRate
+}
+
+func (f *faultState) drawJitter() time.Duration {
+	if f == nil || f.jitter <= 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.Duration(f.rng.Float64() * float64(f.jitter))
+}
 
 // chunk is a unit of in-flight data with its delivery time.
 type chunk struct {
@@ -75,13 +131,15 @@ type pipeHalf struct {
 	closed        bool      // writer closed: EOF after drain
 	broken        bool      // reader closed: writes fail
 	lastDeparture time.Time // bandwidth serialization point
+	lastReady     time.Time // in-order delivery floor under jitter
 	latency       time.Duration
 	bps           float64
+	faults        *faultState // jitter source (nil for clean links)
 	readDeadline  time.Time
 }
 
-func newPipeHalf(latency time.Duration, bps float64) *pipeHalf {
-	h := &pipeHalf{latency: latency, bps: bps}
+func newPipeHalf(latency time.Duration, bps float64, faults *faultState) *pipeHalf {
+	h := &pipeHalf{latency: latency, bps: bps, faults: faults}
 	h.cond = sync.NewCond(&h.mu)
 	return h
 }
@@ -104,7 +162,12 @@ func (h *pipeHalf) write(p []byte) (int, error) {
 	h.lastDeparture = departure
 	data := make([]byte, len(p))
 	copy(data, p)
-	h.queue = append(h.queue, chunk{data: data, readyAt: departure.Add(h.latency)})
+	readyAt := departure.Add(h.latency + h.faults.drawJitter())
+	if readyAt.Before(h.lastReady) {
+		readyAt = h.lastReady // jitter must not reorder delivery
+	}
+	h.lastReady = readyAt
+	h.queue = append(h.queue, chunk{data: data, readyAt: readyAt})
 	h.cond.Broadcast()
 	return len(p), nil
 }
@@ -201,7 +264,10 @@ type Conn struct {
 	send      *pipeHalf // data flowing away from this endpoint
 	local     simAddr
 	remote    simAddr
+	faults    *faultState // loss source shared with the peer (nil = clean)
+	peer      *Conn       // other endpoint, for propagating resets
 	closeOnce sync.Once
+	dead      atomic.Bool // closed or reset; lets the network prune records
 }
 
 // simAddr implements net.Addr for virtual hosts.
@@ -210,28 +276,61 @@ type simAddr string
 func (a simAddr) Network() string { return "sim" }
 func (a simAddr) String() string  { return string(a) }
 
+// pairSeq seeds connection pairs created without an explicit seed.
+var pairSeq atomic.Int64
+
 // NewConnPair returns the two endpoints of a connection shaped by link.
 // clientName/serverName label the endpoints for RemoteAddr purposes. Data
 // written by the client is shaped by (Latency, UpBps); data written by the
-// server by (Latency, DownBps).
+// server by (Latency, DownBps). Fault draws (loss, jitter) use an arbitrary
+// process-unique seed; use NewConnPairSeeded for reproducible faults.
 func NewConnPair(link Link, clientName, serverName string) (client, server *Conn) {
-	up := newPipeHalf(link.Latency, link.UpBps)     // client → server
-	down := newPipeHalf(link.Latency, link.DownBps) // server → client
-	client = &Conn{recv: down, send: up, local: simAddr(clientName), remote: simAddr(serverName)}
-	server = &Conn{recv: up, send: down, local: simAddr(serverName), remote: simAddr(clientName)}
+	return NewConnPairSeeded(link, clientName, serverName, pairSeq.Add(1)*0x9E3779B9+0x7F4A7C15)
+}
+
+// NewConnPairSeeded is NewConnPair with a deterministic fault seed: two
+// pairs built from the same link and seed draw identical loss and jitter
+// sequences. The seed is irrelevant for links without Jitter or LossRate.
+func NewConnPairSeeded(link Link, clientName, serverName string, seed int64) (client, server *Conn) {
+	faults := newFaultState(link, seed)
+	up := newPipeHalf(link.Latency, link.UpBps, faults)     // client → server
+	down := newPipeHalf(link.Latency, link.DownBps, faults) // server → client
+	client = &Conn{recv: down, send: up, faults: faults, local: simAddr(clientName), remote: simAddr(serverName)}
+	server = &Conn{recv: up, send: down, faults: faults, local: simAddr(serverName), remote: simAddr(clientName)}
+	client.peer, server.peer = server, client
 	return client, server
 }
 
 // Read implements net.Conn.
 func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
 
-// Write implements net.Conn.
-func (c *Conn) Write(p []byte) (int, error) { return c.send.write(p) }
+// Write implements net.Conn. On a lossy link each write may instead reset
+// the whole connection: the data is not delivered, both endpoints' pending
+// and future operations fail, and the caller sees ErrReset.
+func (c *Conn) Write(p []byte) (int, error) {
+	if !c.dead.Load() && c.faults.drawLoss() {
+		c.reset()
+		return 0, ErrReset
+	}
+	return c.send.write(p)
+}
+
+// reset tears the connection down abruptly from both ends, like a TCP RST:
+// no EOF-after-drain grace, queued data is dropped.
+func (c *Conn) reset() {
+	c.dead.Store(true)
+	if c.peer != nil {
+		c.peer.dead.Store(true)
+	}
+	c.send.closeRead()
+	c.recv.closeRead()
+}
 
 // Close implements net.Conn. It signals EOF to the peer and aborts local
 // blocked reads.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
+		c.dead.Store(true)
 		c.send.closeWrite()
 		c.recv.closeRead()
 	})
