@@ -30,11 +30,12 @@ bench: vet
 # Fault-injection harness: seeded netsim chaos scenarios (lossy/mobile
 # links, server restarts, link flaps, forced disconnects) asserting
 # byte-identical convergence, exactly-once actions, and close-reason
-# discipline — race-enabled, full 64-scenario sweep. CI runs the -short
-# smoke slice; this target is the long local/nightly form. The -timeout
+# discipline — race-enabled, full sweep, including the durability families
+# (kill-restore from a checkpoint, live agent handover, partitions). CI runs
+# the -short smoke slice; this target is the long local/nightly form. The -timeout
 # guarantees a goroutine dump instead of a silent CI hang.
 chaos: vet
-	$(GO) test ./internal/core -race -count=1 -run TestChaosFaultInjection -timeout 300s
+	$(GO) test ./internal/core -race -count=1 -run 'TestChaos' -timeout 600s
 
 # Brief mutation runs of the native fuzz targets (the checked-in corpora
 # under internal/dom/testdata/fuzz and internal/core/testdata/fuzz run on

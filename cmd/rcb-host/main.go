@@ -16,9 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rcb/internal/browser"
@@ -39,6 +41,11 @@ func main() {
 	shedWatermarks := flag.String("shed-watermarks", "",
 		"shed-ladder watermarks as 'signal=high[/low],...' with signals parked, outbox, heap\n"+
 			"(heap takes size suffixes, e.g. 'parked=200/100,heap=512M'); low defaults to high/2; empty disables the ladder")
+	checkpoint := flag.String("checkpoint", "", "write session checkpoints to this file (periodically, on SIGUSR1, and on shutdown)")
+	checkpointEvery := flag.Duration("checkpoint-every", 10*time.Second, "interval between periodic checkpoints (with -checkpoint)")
+	restore := flag.String("restore", "", "restore the session from this checkpoint file if it exists, then keep serving")
+	acceptHandover := flag.Bool("accept-handover", false, "accept a live session handover from another rcb-host sharing the key")
+	handoverTo := flag.String("handover-to", "", "on SIGUSR2, hand the live session over to the agent at this address")
 	flag.Parse()
 
 	corpus, err := sites.NewCorpus()
@@ -67,9 +74,30 @@ func main() {
 		agent.Shed = w
 	}
 	agent.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	agent.AllowHandover = *acceptHandover
 	if *key != "" {
 		agent.Auth = core.NewAuthenticator(*key)
 		fmt.Printf("session key: %s (share out of band)\n", *key)
+	}
+
+	// A checkpoint restores the whole session — participants, replay
+	// stamps, document — so a restarted host resumes where it stopped and
+	// snippets reconverge on their normal rejoin path.
+	restored := false
+	if *restore != "" {
+		data, err := os.ReadFile(*restore)
+		switch {
+		case err == nil:
+			if err := agent.ImportState(data); err != nil {
+				fatal(fmt.Errorf("restore %s: %w", *restore, err))
+			}
+			restored = true
+			fmt.Printf("restored session from %s\n", *restore)
+		case os.IsNotExist(err):
+			fmt.Printf("no checkpoint at %s; starting fresh\n", *restore)
+		default:
+			fatal(err)
+		}
 	}
 
 	server, l, err := httpwire.ListenAndServe(*listen, agent)
@@ -85,21 +113,100 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 
-	switch *demo {
-	case "maps":
-		runMapsDemo(host, corpus, stop)
-	case "shop":
-		runShopDemo(host, stop)
-	default:
-		spec, ok := sites.SiteByName(*site)
-		if !ok {
-			fatal(fmt.Errorf("unknown site %q", *site))
+	saveCheckpoint := func() error {
+		data, err := agent.ExportState()
+		if err != nil {
+			return err
 		}
-		if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
-			fatal(err)
+		// Write-then-rename so a crash mid-write never corrupts the last
+		// good checkpoint.
+		tmp := *checkpoint + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o600); err != nil {
+			return err
 		}
-		fmt.Printf("host browsing %s; participants will sync it. Ctrl-C to stop.\n", spec.Name)
+		return os.Rename(tmp, *checkpoint)
+	}
+	if *checkpoint != "" || *handoverTo != "" {
+		usr := make(chan os.Signal, 2)
+		signal.Notify(usr, syscall.SIGUSR1, syscall.SIGUSR2)
+		var tickC <-chan time.Time
+		if *checkpoint != "" && *checkpointEvery > 0 {
+			tick := time.NewTicker(*checkpointEvery)
+			defer tick.Stop()
+			tickC = tick.C
+		}
+		go func() {
+			for {
+				select {
+				case <-tickC:
+					if err := saveCheckpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "rcb-host: checkpoint:", err)
+					}
+				case sig := <-usr:
+					switch sig {
+					case syscall.SIGUSR1:
+						if *checkpoint == "" {
+							fmt.Fprintln(os.Stderr, "rcb-host: SIGUSR1 ignored: no -checkpoint path")
+							continue
+						}
+						if err := saveCheckpoint(); err != nil {
+							fmt.Fprintln(os.Stderr, "rcb-host: checkpoint:", err)
+						} else {
+							fmt.Printf("checkpoint written to %s\n", *checkpoint)
+						}
+					case syscall.SIGUSR2:
+						if *handoverTo == "" {
+							fmt.Fprintln(os.Stderr, "rcb-host: SIGUSR2 ignored: no -handover-to address")
+							continue
+						}
+						client := httpwire.NewClient(func(addr string) (net.Conn, error) {
+							return net.Dial("tcp", addr)
+						})
+						if err := agent.HandoverTo(client, *handoverTo); err != nil {
+							fmt.Fprintln(os.Stderr, "rcb-host: handover:", err)
+						} else {
+							fmt.Printf("session handed over to %s; this process now answers MOVED\n", *handoverTo)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	if restored {
+		// The restored document is the session truth; navigating anywhere
+		// (including a demo script's first step) would clobber it.
+		fmt.Println("resumed session; participants reconverge as they poll. Ctrl-C to stop.")
 		<-stop
+	} else {
+		switch *demo {
+		case "maps":
+			runMapsDemo(host, corpus, stop)
+		case "shop":
+			runShopDemo(host, stop)
+		default:
+			spec, ok := sites.SiteByName(*site)
+			if !ok {
+				fatal(fmt.Errorf("unknown site %q", *site))
+			}
+			if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("host browsing %s; participants will sync it. Ctrl-C to stop.\n", spec.Name)
+			<-stop
+		}
+	}
+
+	if *checkpoint != "" {
+		// Close the server first so no merge lands after the snapshot:
+		// the checkpoint is then the session's final word, and a restore
+		// preserves exactly-once for every action it recorded.
+		server.Close()
+		if err := saveCheckpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "rcb-host: shutdown checkpoint:", err)
+		} else {
+			fmt.Printf("shutdown checkpoint written to %s\n", *checkpoint)
+		}
 	}
 }
 

@@ -81,7 +81,9 @@ func main() {
 		defer close(runDone)
 		snip.Run(stop, func(err error) {
 			if r := core.CloseReasonOf(err); r != core.CloseNone {
-				if r.Retryable() {
+				if r == core.CloseMoved {
+					fmt.Fprintf(os.Stderr, "session moved — following the agent to its new address\n")
+				} else if r.Retryable() {
 					fmt.Fprintf(os.Stderr, "session closed by agent: %s — rejoining\n", r)
 				} else {
 					fmt.Fprintf(os.Stderr, "session closed by agent: %s — giving up\n", r)
@@ -100,14 +102,17 @@ func main() {
 		select {
 		case <-stop:
 			st := snip.Stats()
-			fmt.Printf("left session: %d polls, %d updates, %d objects fetched\n",
-				st.Polls, st.ContentPolls, st.ObjectFetches)
+			fmt.Printf("left session: %d polls, %d updates, %d objects fetched", st.Polls, st.ContentPolls, st.ObjectFetches)
+			if st.Relocates > 0 {
+				fmt.Printf(", %d relocations (now at %s)", st.Relocates, snip.CurrentAgentURL())
+			}
+			fmt.Println()
 			return
 		case <-runDone:
 			// The loop only exits on its own for a non-retryable close.
 			st := snip.Stats()
-			fmt.Printf("session over (%s): %d polls, %d updates, %d rejoins\n",
-				st.LastCloseReason, st.Polls, st.ContentPolls, st.Rejoins)
+			fmt.Printf("session over (%s): %d polls, %d updates, %d rejoins, %d relocations\n",
+				st.LastCloseReason, st.Polls, st.ContentPolls, st.Rejoins, st.Relocates)
 			os.Exit(1)
 		case <-tick.C:
 		}

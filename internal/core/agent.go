@@ -130,6 +130,14 @@ type Agent struct {
 	// ReadHeap overrides the heap-usage probe for the shed ladder (tests
 	// inject pressure); nil reads runtime.MemStats.HeapAlloc.
 	ReadHeap func() uint64
+	// AllowHandover, when set, lets another agent process push session
+	// state into this one through the /handover/ handshake (state.go,
+	// handover.go). Off by default: an agent must opt in to being a
+	// migration target.
+	AllowHandover bool
+	// MovedRetryAfter is the retry hint attached to MOVED responses after
+	// a handover relocated this session; zero means DefaultMovedRetryAfter.
+	MovedRetryAfter time.Duration
 	// Logf, when non-nil, receives diagnostics.
 	Logf func(format string, args ...any)
 
@@ -144,10 +152,13 @@ type Agent struct {
 	closedReasons map[string]CloseReason
 	closedOrder   []string
 
-	// dmu guards the action replay filter (dedup.go).
-	dmu        sync.Mutex
-	dedup      map[string]*dedupState
-	dedupOrder []string
+	// dmu guards the action replay filter (dedup.go). dedupTick is the
+	// agent-wide activity counter behind LRU eviction; dedupNow overrides
+	// the idle-eviction clock in tests (nil means time.Now).
+	dmu       sync.Mutex
+	dedup     map[string]*dedupState
+	dedupTick int64
+	dedupNow  func() time.Time
 
 	// omu guards the object mapping tables (agent path ↔ absolute URL).
 	omu     sync.Mutex
@@ -177,6 +188,26 @@ type Agent struct {
 	// tmu guards the monotonic docTime clock.
 	tmu         sync.Mutex
 	lastDocTime int64
+
+	// smu is the serve/state barrier. Every request path that can mutate
+	// session state holds the read side for its synchronous extent, so
+	// ExportState — and the relocation fence a handover plants — can take
+	// the write side and observe the session with no merge in flight: a
+	// checkpoint can never contain a replay stamp without its document
+	// effect, or vice versa. relocatedTo, once set under the write lock,
+	// makes every subsequent request answer MOVED with that address in
+	// RelocateHeader. (Host-side APIs like HostAction bypass the barrier;
+	// rcb-host only checkpoints between, not during, host interactions,
+	// and a restore always resyncs participants anyway.)
+	smu         sync.RWMutex
+	relocatedTo string
+
+	// hmu guards the receiver half of the handover handshake (handover.go):
+	// the outstanding transfer token and how far the exchange progressed.
+	hmu              sync.Mutex
+	handoverToken    string
+	handoverImported bool
+	handoverDone     bool
 
 	// hub parks long-polls and wakes them on document changes, outbox
 	// enqueues, and disconnects.
@@ -396,10 +427,31 @@ func (a *Agent) URL() string { return "http://" + a.Addr }
 // ServeWire implements httpwire.Handler, classifying requests as Figure 2
 // does — a new connection request (GET with root URI), an object request
 // (GET with a resource URI, cache mode), or an Ajax polling request (always
-// POST, so action data can be piggybacked) — plus one route the paper does
+// POST, so action data can be piggybacked) — plus two routes the paper does
 // not have: the fire-and-forget action upstream (POST /action), which
-// carries participant actions without waiting for the next poll cycle.
+// carries participant actions without waiting for the next poll cycle, and
+// the agent-to-agent handover handshake (POST /handover/*, handover.go).
 func (a *Agent) ServeWire(req *httpwire.Request) *httpwire.Response {
+	if req.Method == "POST" && strings.HasPrefix(req.Path(), "/handover/") {
+		// The handshake manages the state barrier itself (ImportState takes
+		// the write side) and must stay reachable on a relocated agent so
+		// chained migrations work.
+		if errResp := a.verifyAuth(req); errResp != nil {
+			return errResp
+		}
+		return a.serveHandover(req)
+	}
+	a.smu.RLock()
+	defer a.smu.RUnlock()
+	if a.relocatedTo != "" {
+		return a.movedResponse()
+	}
+	return a.route(req)
+}
+
+// route dispatches one non-handover request; the caller holds the read side
+// of the serve/state barrier.
+func (a *Agent) route(req *httpwire.Request) *httpwire.Response {
 	switch {
 	case req.Method == "GET" && req.Path() == "/":
 		return a.serveInitialPage(req)
@@ -443,6 +495,12 @@ func (a *Agent) verifyAuth(req *httpwire.Request) *httpwire.Response {
 func (a *Agent) serveInitialPage(_ *httpwire.Request) *httpwire.Response {
 	a.maybeEvalLoad()
 	if a.ShedLevel() >= ShedRefuseJoins {
+		a.joinRefusals.Add(1)
+		return a.joinRefusedResponse()
+	}
+	if a.handoverPending() {
+		// A transfer is mid-flight: admitting a participant now would
+		// split the session between the incoming state and this join.
 		a.joinRefusals.Add(1)
 		return a.joinRefusedResponse()
 	}
@@ -511,6 +569,15 @@ func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Res
 		// Everything but a poll — including the /action upstream — answers
 		// inline: an action POST must acknowledge immediately, never park.
 		respond(a.ServeWire(req))
+		return
+	}
+	// The barrier read lock covers the synchronous extent of the poll —
+	// merge, park registration — but not the parked wait itself; a poll
+	// woken later re-enters through wakePoll, which takes its own RLock.
+	a.smu.RLock()
+	defer a.smu.RUnlock()
+	if a.relocatedTo != "" {
+		respond(a.movedResponse())
 		return
 	}
 	if errResp := a.verifyAuth(req); errResp != nil {
@@ -582,6 +649,11 @@ func (a *Agent) ServeWireAsync(req *httpwire.Request, respond func(*httpwire.Res
 // re-check rides the single-flight guard, so N waiters waking on one
 // document change still cost exactly one BuildContent).
 func (a *Agent) wakePoll(w *pollWaiter, reply *pollReply) *httpwire.Response {
+	a.smu.RLock()
+	defer a.smu.RUnlock()
+	if a.relocatedTo != "" {
+		return a.movedResponse()
+	}
 	if reply.closed {
 		// Agent shutdown: tell the snippet why so it backs off.
 		return agentClosingPollResponse
@@ -757,6 +829,13 @@ func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp 
 	if err != nil {
 		a.logf("rcb-agent: content generation: %v", err)
 		return httpwire.NewResponse(500, "text/plain", []byte("content generation failed\n")), true
+	}
+	if prep != nil && ts > prep.docTime {
+		// The participant acknowledges a docTime this agent never issued:
+		// it was talking to a newer incarnation than the checkpoint this
+		// one restored from. Treat it as a first poll so it resyncs with
+		// the full snapshot instead of parking forever on a stale clock.
+		ts = 0
 	}
 	if prep != nil && prep.docTime > ts {
 		// ts == 0 is a first poll: the participant has no base to patch.

@@ -36,6 +36,10 @@ const (
 	// CloseAgentClosing: the agent itself is shutting down. Rejoin with
 	// backoff — the host may restart.
 	CloseAgentClosing
+	// CloseMoved: the session migrated to another agent process. The
+	// response carries the new address in RelocateHeader; the snippet
+	// rejoins there on its normal backoff path.
+	CloseMoved
 	// CloseUnknown: the agent has no record of the participant (expired
 	// state, restarted agent). Rejoin re-registers.
 	CloseUnknown
@@ -48,6 +52,7 @@ var closeReasonNames = map[CloseReason]string{
 	CloseOvercommitted: "OVERCOMMITTED",
 	CloseStaleReader:   "STALE_READER",
 	CloseAgentClosing:  "AGENT_CLOSING",
+	CloseMoved:         "MOVED",
 	CloseUnknown:       "UNKNOWN",
 }
 
@@ -85,7 +90,7 @@ func (r CloseReason) Retryable() bool {
 // "the agent cannot serve you right now".
 func (r CloseReason) StatusCode() int {
 	switch r {
-	case CloseSessionFull, CloseOvercommitted, CloseAgentClosing:
+	case CloseSessionFull, CloseOvercommitted, CloseAgentClosing, CloseMoved:
 		return 503
 	default:
 		return 403
@@ -101,6 +106,9 @@ const (
 	// RetryAfterHeader carries a server-assigned retry interval in
 	// milliseconds; the snippet honors it before its next poll.
 	RetryAfterHeader = "Rcb-Retry-After"
+	// RelocateHeader accompanies a MOVED close reason and names the
+	// listen address of the agent now serving the session.
+	RelocateHeader = "Rcb-Relocate"
 )
 
 // CloseError is the error a Snippet surfaces when the agent terminated the

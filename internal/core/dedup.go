@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // Action deduplication. The snippet's upstream is at-least-once: a pushed
 // action whose response is lost is retried on the poll channel, and a
 // rejoining snippet re-sends its unacknowledged queue. The agent therefore
@@ -7,22 +9,36 @@ package core
 // the policy, making delivery exactly-once as far as page state is
 // concerned. Actions without a CID (older snippets, hand-rolled clients)
 // bypass the filter.
+//
+// The table is bounded in both dimensions: per client, only the last
+// dedupWindow sequence numbers are remembered; across clients, the table
+// holds at most maxDedupClients entries, evicting clients idle for longer
+// than dedupIdleTTL first and falling back to least-recently-active order.
+// Eviction only happens when admitting a new client, so a client that keeps
+// acting — even one riding a long rejoin-churn session — never loses its
+// stamps while active.
 
 const (
 	// dedupWindow bounds how many recent sequence numbers are remembered
 	// per client; anything at or below maxSeq-dedupWindow is treated as a
 	// duplicate (the client never retries that far back).
 	dedupWindow = 1024
-	// maxDedupClients bounds per-agent memory; the oldest client's state
-	// is evicted first.
+	// maxDedupClients bounds per-agent memory across clients.
 	maxDedupClients = 256
+	// dedupIdleTTL is how long a client may be silent before its stamps
+	// are eligible for eviction ahead of merely less-recently-used ones.
+	// It comfortably exceeds any rejoin backoff, so a participant bouncing
+	// off a lossy link keeps exactly-once semantics across the gap.
+	dedupIdleTTL = time.Hour
 )
 
 // dedupState is one client's replay filter.
 type dedupState struct {
 	maxSeq int64
 	recent map[int64]struct{}
-	order  []int64 // FIFO of entries in recent, for eviction
+	order  []int64 // FIFO of entries in recent, for per-client eviction
+	touch  int64   // agent-wide activity counter at last accepted action
+	seen   time.Time
 }
 
 func (d *dedupState) fresh(seq int64) bool {
@@ -44,6 +60,35 @@ func (d *dedupState) fresh(seq int64) bool {
 	return true
 }
 
+// dedupClock returns the wall time used for idle-based eviction; tests
+// override Agent.dedupNow to simulate weeks of churn without sleeping.
+func (a *Agent) dedupClock() time.Time {
+	if a.dedupNow != nil {
+		return a.dedupNow()
+	}
+	return time.Now()
+}
+
+// evictDedupLocked drops one client to make room for a new one: the first
+// client idle beyond dedupIdleTTL, or failing that, the least recently
+// active one. Caller holds a.dmu.
+func (a *Agent) evictDedupLocked(now time.Time) {
+	var victim string
+	var minTouch int64 = -1
+	for cid, st := range a.dedup {
+		if now.Sub(st.seen) >= dedupIdleTTL {
+			victim = cid
+			break
+		}
+		if minTouch < 0 || st.touch < minTouch {
+			victim, minTouch = cid, st.touch
+		}
+	}
+	if victim != "" {
+		delete(a.dedup, victim)
+	}
+}
+
 // freshActions filters out actions the agent has already accepted from the
 // same client, returning the survivors in order. Safe for concurrent use.
 func (a *Agent) freshActions(actions []Action) []Action {
@@ -60,14 +105,15 @@ func (a *Agent) freshActions(actions []Action) []Action {
 			if a.dedup == nil {
 				a.dedup = make(map[string]*dedupState)
 			}
-			if len(a.dedupOrder) >= maxDedupClients {
-				delete(a.dedup, a.dedupOrder[0])
-				a.dedupOrder = a.dedupOrder[1:]
+			if len(a.dedup) >= maxDedupClients {
+				a.evictDedupLocked(a.dedupClock())
 			}
 			st = &dedupState{recent: make(map[int64]struct{})}
 			a.dedup[act.CID] = st
-			a.dedupOrder = append(a.dedupOrder, act.CID)
 		}
+		a.dedupTick++
+		st.touch = a.dedupTick
+		st.seen = a.dedupClock()
 		if st.fresh(act.CSeq) {
 			out = append(out, act)
 		} else {
@@ -75,4 +121,11 @@ func (a *Agent) freshActions(actions []Action) []Action {
 		}
 	}
 	return out
+}
+
+// DedupClients reports how many clients currently hold replay-filter state.
+func (a *Agent) DedupClients() int {
+	a.dmu.Lock()
+	defer a.dmu.Unlock()
+	return len(a.dedup)
 }

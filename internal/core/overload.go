@@ -178,13 +178,29 @@ type shedState struct {
 	lastEval atomic.Int64
 	ups      atomic.Int64
 	downs    atomic.Int64
+	// forced is an administrative floor under the measured level: the
+	// handover quiesce pins ShedInterval so parked polls drain and no new
+	// ones park, independent of what the load signals say.
+	forced atomic.Int32
 
 	respOnce sync.Once
 	resp     *httpwire.Response
 }
 
-// ShedLevel reports the ladder's current step.
-func (a *Agent) ShedLevel() ShedLevel { return ShedLevel(a.shed.level.Load()) }
+// ShedLevel reports the ladder's current step: the maximum of the measured
+// level and any administratively forced floor.
+func (a *Agent) ShedLevel() ShedLevel {
+	lvl := ShedLevel(a.shed.level.Load())
+	if f := ShedLevel(a.shed.forced.Load()); f > lvl {
+		return f
+	}
+	return lvl
+}
+
+// forceShed pins the ladder at or above lvl until released with
+// forceShed(ShedNone). The measured ladder keeps evaluating underneath and
+// wins if it is higher.
+func (a *Agent) forceShed(lvl ShedLevel) { a.shed.forced.Store(int32(lvl)) }
 
 // ShedTransitions reports how many times the ladder climbed (ups) and
 // recovered (downs).

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ type SnippetStats struct {
 	ActionFallbacks  int64         // push attempts that degraded to the piggyback queue
 	PollFailures     int64         // polls that returned an error (transport or terminal)
 	Rejoins          int64         // automatic rejoin-and-resync cycles completed
+	Relocates        int64         // rejoins that followed an Rcb-Relocate address
 	LastApplyTime    time.Duration // duration of the last Figure 5 application (the paper's M6)
 	ObjectFetches    int64
 	ObjectsFromAgent int64
@@ -150,14 +152,21 @@ type Snippet struct {
 
 	auth *Authenticator
 
-	// pollAddr caches the resolved agent dial address: it is a pure
-	// function of AgentURL, so it is computed once instead of re-parsing
-	// the URL on every poll.
-	pollAddrOnce sync.Once
-	pollAddr     string
-	pollAddrErr  error
-
-	mu          sync.Mutex
+	mu sync.Mutex
+	// curAgentURL is the agent the snippet currently talks to: AgentURL
+	// until a MOVED response relocates the session, the Rcb-Relocate
+	// address afterwards. prevAgentURL remembers the address before the
+	// last relocation so a refused join at the new agent can fall back.
+	// relocateTo holds a received Rcb-Relocate address until the next
+	// Rejoin consumes it — exactly once.
+	curAgentURL  string
+	prevAgentURL string
+	relocateTo   string
+	// pollAddr caches the dial address resolved from pollAddrFor; it is
+	// recomputed whenever the agent URL changes (relocation).
+	pollAddr    string
+	pollAddrFor string
+	pollAddrErr error
 	docTime     int64
 	queue       []Action
 	stats       SnippetStats
@@ -236,19 +245,31 @@ func (s *Snippet) LastObjectFetches() []browser.ObjectFetch {
 // types the agent URL into the address bar, receives the initial page
 // containing Ajax-Snippet, and the channel is established.
 func (s *Snippet) Join() error {
-	stats, err := s.Browser.Navigate(s.AgentURL + "/")
+	url := s.agentURL()
+	stats, err := s.Browser.Navigate(url + "/")
 	if err != nil {
 		var se *browser.StatusError
 		if errors.As(err, &se) {
 			if reason := ParseCloseReason(se.Header.Get(CloseReasonHeader)); reason != CloseNone {
 				s.mu.Lock()
 				s.stats.LastCloseReason = reason
+				if ra := parseRetryAfterMS(se.Header.Get(RetryAfterHeader)); ra > 0 {
+					s.retryAfter = ra
+				}
+				if reason == CloseMoved {
+					// The agent moved under us even for joining: follow the
+					// relocation on the next Rejoin attempt.
+					if addr := se.Header.Get(RelocateHeader); addr != "" {
+						s.relocateTo = normalizeAgentURL(addr)
+					}
+					s.rejoinNeeded = true
+				}
 				s.mu.Unlock()
-				return fmt.Errorf("rcb-snippet: join %s: %w", s.AgentURL,
+				return fmt.Errorf("rcb-snippet: join %s: %w", url,
 					&CloseError{Reason: reason, Status: se.StatusCode})
 			}
 		}
-		return fmt.Errorf("rcb-snippet: join %s: %w", s.AgentURL, err)
+		return fmt.Errorf("rcb-snippet: join %s: %w", url, err)
 	}
 	_ = stats
 	var hasSnippet bool
@@ -260,10 +281,14 @@ func (s *Snippet) Join() error {
 		return err
 	}
 	if !hasSnippet {
-		return fmt.Errorf("rcb-snippet: initial page from %s has no Ajax-Snippet", s.AgentURL)
+		return fmt.Errorf("rcb-snippet: initial page from %s has no Ajax-Snippet", url)
 	}
 	return nil
 }
+
+// CurrentAgentURL reports which agent the snippet is talking to — AgentURL
+// until a relocation was followed, the new agent's URL afterwards.
+func (s *Snippet) CurrentAgentURL() string { return s.agentURL() }
 
 // QueueAction buffers an action for piggybacking on the next polling
 // request (paper §4.2.1: the POST method is used "so that action
@@ -336,11 +361,35 @@ func (s *Snippet) RejoinNeeded() bool {
 // piggyback queue survives: unacknowledged actions are re-sent under the
 // same (CID, CSeq) stamps and the agent's replay filter keeps delivery
 // exactly-once.
+//
+// A pending Rcb-Relocate address is consumed here, exactly once: the join
+// goes to the new agent, and on failure the snippet falls back to the
+// address it was using before (where a MOVED answer may hand it a fresh
+// relocation — chained handovers converge the same way).
 func (s *Snippet) Rejoin() error {
+	s.mu.Lock()
+	relocated := false
+	if s.relocateTo != "" {
+		s.prevAgentURL = s.agentURLLocked()
+		s.curAgentURL = s.relocateTo
+		s.relocateTo = ""
+		relocated = true
+	}
+	s.mu.Unlock()
 	if err := s.Join(); err != nil {
+		if relocated {
+			s.mu.Lock()
+			// The relocation target refused us: fall back to the previous
+			// agent rather than stranding the session on a dead address.
+			s.curAgentURL = s.prevAgentURL
+			s.mu.Unlock()
+		}
 		return err
 	}
 	s.mu.Lock()
+	if relocated {
+		s.stats.Relocates++
+	}
 	s.docTime = 0
 	s.memo = ApplyMemo{}
 	s.pushSuspended = false
@@ -446,7 +495,7 @@ func (s *Snippet) PushAction(act Action) error {
 	}
 	req := httpwire.NewRequest("POST", target)
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-	if c := s.Browser.Jar.Header(browser.HostOf(s.AgentURL + "/")); c != "" {
+	if c := s.Browser.Jar.Header(browser.HostOf(s.agentURL() + "/")); c != "" {
 		req.Header.Set("Cookie", c)
 	}
 	req.Body = body
@@ -540,13 +589,53 @@ func (s *Snippet) lastParkDenied() bool {
 	return s.parkDenied
 }
 
-// agentAddr resolves (once) and returns the agent dial address — a pure
-// function of AgentURL, shared by the polling and action-push paths.
+// agentURL returns the URL of the agent currently serving this snippet:
+// AgentURL until a relocation, the followed Rcb-Relocate address after.
+func (s *Snippet) agentURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agentURLLocked()
+}
+
+func (s *Snippet) agentURLLocked() string {
+	if s.curAgentURL == "" {
+		s.curAgentURL = s.AgentURL
+	}
+	return s.curAgentURL
+}
+
+// agentAddr resolves and returns the agent dial address, shared by the
+// polling and action-push paths. The result is cached per agent URL and
+// recomputed when a relocation changes it.
 func (s *Snippet) agentAddr() (string, error) {
-	s.pollAddrOnce.Do(func() {
-		s.pollAddr, s.pollAddrErr = browser.AddrOf(s.AgentURL + "/")
-	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	url := s.agentURLLocked()
+	if url != s.pollAddrFor {
+		s.pollAddr, s.pollAddrErr = browser.AddrOf(url + "/")
+		s.pollAddrFor = url
+	}
 	return s.pollAddr, s.pollAddrErr
+}
+
+// normalizeAgentURL turns a bare Rcb-Relocate address into an agent URL.
+func normalizeAgentURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// parseRetryAfterMS parses an Rcb-Retry-After header value (milliseconds).
+func parseRetryAfterMS(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // longPollWait resolves the hang to request per poll: 0 in interval mode.
@@ -614,7 +703,7 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 	}
 	req := httpwire.NewRequest("POST", target)
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-	if c := s.Browser.Jar.Header(browser.HostOf(s.AgentURL + "/")); c != "" {
+	if c := s.Browser.Jar.Header(browser.HostOf(s.agentURL() + "/")); c != "" {
 		req.Header.Set("Cookie", c)
 	}
 	req.Body = body
@@ -634,11 +723,21 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 		s.mu.Lock()
 		s.queue = append(actions, s.queue...)
 		s.stats.PollFailures++
+		if ra := parseRetryAfterMS(resp.Header.Get(RetryAfterHeader)); ra > 0 {
+			// A server-assigned interval on a terminal answer is the floor
+			// for the retry delay, exactly as on shed responses.
+			s.retryAfter = ra
+		}
 		reason := ParseCloseReason(resp.Header.Get(CloseReasonHeader))
 		if reason != CloseNone {
 			s.stats.LastCloseReason = reason
 			if reason.Retryable() {
 				s.rejoinNeeded = true
+			}
+			if reason == CloseMoved {
+				if addr := resp.Header.Get(RelocateHeader); addr != "" {
+					s.relocateTo = normalizeAgentURL(addr)
+				}
 			}
 		}
 		s.mu.Unlock()
@@ -668,12 +767,7 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 		// interval pacing is the right degradation there as well.
 		denied := wait > 0 && time.Since(pollStart) < parkDeniedThreshold
 		closing := ParseCloseReason(resp.Header.Get(CloseReasonHeader)) == CloseAgentClosing
-		var retryAfter time.Duration
-		if v := resp.Header.Get(RetryAfterHeader); v != "" {
-			if ms, perr := strconv.ParseInt(v, 10, 64); perr == nil && ms > 0 {
-				retryAfter = time.Duration(ms) * time.Millisecond
-			}
-		}
+		retryAfter := parseRetryAfterMS(resp.Header.Get(RetryAfterHeader))
 		s.mu.Lock()
 		s.stats.EmptyPolls++
 		// An explicit AgentClosing marker is authoritative: the push
@@ -805,10 +899,11 @@ func (s *Snippet) fetchContentObjects() error {
 		return err
 	}
 	s.mu.Lock()
+	agentHost := hostOf(s.agentURLLocked())
 	s.lastObjects = fetches
 	s.stats.ObjectFetches += int64(len(fetches))
 	for _, f := range fetches {
-		if hostOf(f.URL) == hostOf(s.AgentURL) {
+		if hostOf(f.URL) == agentHost {
 			s.stats.ObjectsFromAgent++
 		}
 	}
@@ -1076,6 +1171,9 @@ func (s *Snippet) Run(stop <-chan struct{}, errf func(error)) {
 				s.mu.Lock()
 				_, _, join := s.backoffsLocked()
 				d := join.Next()
+				if s.retryAfter > d {
+					d = s.retryAfter // server-assigned pacing floors the rejoin delay too
+				}
 				s.mu.Unlock()
 				resetTimer(timer, d)
 				continue

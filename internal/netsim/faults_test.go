@@ -159,3 +159,85 @@ func TestResetConnsKillsLiveFlows(t *testing.T) {
 		t.Fatalf("second ResetConns reset %d conns, want 0", got)
 	}
 }
+
+func TestPartitionIsOneDirectionalAndHeals(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := n.Dial("cli", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Installing the cut resets the established flow and blocks new dials
+	// from the partitioned host only.
+	if got := n.Partition("cli", "srv:1"); got != 1 {
+		t.Fatalf("Partition reset %d conns, want 1", got)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write across partition = %v, want ErrClosed", err)
+	}
+	if _, err := n.Dial("cli", "srv:1"); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+	// One-directional: an unrelated host still reaches the server.
+	if _, err := n.Dial("other", "srv:1"); err != nil {
+		t.Fatalf("unrelated host partitioned too: %v", err)
+	}
+
+	n.Heal("cli", "srv:1")
+	if _, err := n.Dial("cli", "srv:1"); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+func TestPartitionWildcards(t *testing.T) {
+	n := NewNetwork()
+	for _, addr := range []string{"a:1", "b:1"} {
+		l, err := n.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			for {
+				if _, err := l.Accept(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// "" as fromHost cuts every path to the address.
+	n.Partition("", "a:1")
+	if _, err := n.Dial("x", "a:1"); err == nil {
+		t.Fatal("wildcard-from partition did not block the dial")
+	}
+	if _, err := n.Dial("x", "b:1"); err != nil {
+		t.Fatalf("partition of a:1 leaked to b:1: %v", err)
+	}
+	n.Heal("", "a:1")
+
+	// "" as toAddr isolates one host from everything.
+	n.Partition("x", "")
+	if _, err := n.Dial("x", "b:1"); err == nil {
+		t.Fatal("wildcard-to partition did not block the dial")
+	}
+	if _, err := n.Dial("y", "b:1"); err != nil {
+		t.Fatalf("isolating x leaked to y: %v", err)
+	}
+	n.Heal("x", "")
+	if _, err := n.Dial("x", "a:1"); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}

@@ -27,11 +27,28 @@ type Network struct {
 	// conns records live dialed connections so a test can reset the flows
 	// to one address (a link flap that kills established TCP connections).
 	conns []dialedConn
+	// partitions holds the one-directional cuts installed by Partition:
+	// a dial matching any rule fails as unreachable until Heal removes it.
+	// "" in either field is a wildcard.
+	partitions map[partitionRule]struct{}
 }
 
 type dialedConn struct {
-	toAddr string
-	client *Conn
+	fromHost string
+	toAddr   string
+	client   *Conn
+}
+
+// partitionRule is one directional cut: traffic from fromHost to toAddr
+// cannot flow. Empty fields match any host/address.
+type partitionRule struct {
+	fromHost string
+	toAddr   string
+}
+
+func (r partitionRule) matches(fromHost, toAddr string) bool {
+	return (r.fromHost == "" || r.fromHost == fromHost) &&
+		(r.toAddr == "" || r.toAddr == toAddr)
 }
 
 // NewNetwork returns an empty virtual internet where every path defaults to
@@ -82,12 +99,16 @@ func (n *Network) Dial(fromHost, toAddr string) (net.Conn, error) {
 	l := n.listeners[toAddr]
 	profile := n.linkFor(fromHost, toAddr)
 	blocked := n.blocked != nil && n.blocked(fromHost, toAddr)
+	partitioned := n.partitionedLocked(fromHost, toAddr)
 	seeded, seed := n.seeded, n.seed
 	n.dialSeq++
 	dialSeq := n.dialSeq
 	n.mu.Unlock()
 	if blocked {
 		return nil, fmt.Errorf("netsim: host %s unreachable from %s (NAT)", toAddr, fromHost)
+	}
+	if partitioned {
+		return nil, fmt.Errorf("netsim: host %s unreachable from %s (partitioned)", toAddr, fromHost)
 	}
 	if l == nil {
 		return nil, fmt.Errorf("netsim: connection refused: no listener on %s", toAddr)
@@ -109,9 +130,60 @@ func (n *Network) Dial(fromHost, toAddr string) (net.Conn, error) {
 			live = append(live, dc)
 		}
 	}
-	n.conns = append(live, dialedConn{toAddr: toAddr, client: client})
+	n.conns = append(live, dialedConn{fromHost: fromHost, toAddr: toAddr, client: client})
 	n.mu.Unlock()
 	return client, nil
+}
+
+func (n *Network) partitionedLocked(fromHost, toAddr string) bool {
+	for r := range n.partitions {
+		if r.matches(fromHost, toAddr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Partition installs a one-directional cut: from now on, dials from
+// fromHost to toAddr fail as unreachable and matching established
+// connections are reset. Unlike ResetConns — a momentary flap — the cut
+// persists until Heal removes it, modeling an asymmetric routing failure
+// or a mid-migration network split. Either argument may be "" to match
+// any host/address. Returns how many established connections were cut.
+func (n *Network) Partition(fromHost, toAddr string) int {
+	rule := partitionRule{fromHost: fromHost, toAddr: toAddr}
+	n.mu.Lock()
+	if n.partitions == nil {
+		n.partitions = make(map[partitionRule]struct{})
+	}
+	n.partitions[rule] = struct{}{}
+	var victims []*Conn
+	live := n.conns[:0]
+	for _, dc := range n.conns {
+		if dc.client.dead.Load() {
+			continue
+		}
+		if rule.matches(dc.fromHost, dc.toAddr) {
+			victims = append(victims, dc.client)
+			continue
+		}
+		live = append(live, dc)
+	}
+	n.conns = live
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.reset()
+	}
+	return len(victims)
+}
+
+// Heal removes the Partition rule with exactly these arguments; traffic
+// flows again on the next dial. Healing a rule that was never installed is
+// a no-op.
+func (n *Network) Heal(fromHost, toAddr string) {
+	n.mu.Lock()
+	delete(n.partitions, partitionRule{fromHost: fromHost, toAddr: toAddr})
+	n.mu.Unlock()
 }
 
 // ResetConns abruptly resets every live connection dialed to toAddr,
