@@ -22,7 +22,7 @@ race: vet
 # (interval vs long-poll staleness) and BENCH_delta.json (incremental vs
 # full apply for a small edit).
 bench: vet
-	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice|LongPollFanout|DeltaApply' -benchmem .
+	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice|LongPollFanout|DuplexFanout|DeltaApply' -benchmem .
 	$(GO) run ./cmd/rcb-bench -fanout -out BENCH_fanout.json
 	$(GO) run ./cmd/rcb-bench -delivery -out BENCH_delivery.json
 	$(GO) run ./cmd/rcb-bench -delta -site msn.com -out BENCH_delta.json
@@ -38,9 +38,11 @@ chaos: vet
 	$(GO) test ./internal/core -race -count=1 -run 'TestChaos' -timeout 600s
 
 # Brief mutation runs of the native fuzz targets (the checked-in corpora
-# under internal/dom/testdata/fuzz and internal/core/testdata/fuzz run on
-# every plain `go test`). Each target must be fuzzed in its own invocation.
+# under internal/dom/testdata/fuzz, internal/core/testdata/fuzz and
+# internal/httpwire/testdata/fuzz run on every plain `go test`). Each target
+# must be fuzzed in its own invocation.
 fuzz:
 	$(GO) test ./internal/dom -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 15s
 	$(GO) test ./internal/dom -run '^$$' -fuzz '^FuzzDiffApply$$' -fuzztime 15s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzUnmarshalDelta$$' -fuzztime 15s
+	$(GO) test ./internal/httpwire -run '^$$' -fuzz '^FuzzChannelFrame$$' -fuzztime 15s

@@ -510,6 +510,92 @@ func BenchmarkLongPollFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkDuplexFanout is the persistent-channel counterpart of
+// BenchmarkLongPollFanout: the same participant counts hold framed channels
+// instead of parked long-polls, so one host change is one shared build fanned
+// out as frames — no request parse, no per-update HMAC, no park/wake — and
+// the B/op and allocs/op columns are directly comparable between the two.
+func BenchmarkDuplexFanout(b *testing.B) {
+	spec, _ := sites.SiteByName("google.com")
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("participants-%d", n), func(b *testing.B) {
+			w := newBenchWorld(b, spec)
+			snippets := []*core.Snippet{w.snip}
+			for i := 1; i < n; i++ {
+				name := fmt.Sprintf("dx%d.lan", i)
+				pb := browser.New(name, w.corpus.Network.Dialer(name))
+				b.Cleanup(pb.Close)
+				s := core.NewSnippet(pb, "http://host.lan:3000", "")
+				s.FetchObjects = false
+				if err := s.Join(); err != nil {
+					b.Fatal(err)
+				}
+				snippets = append(snippets, s)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for _, s := range snippets {
+				s.Delivery = core.DeliveryDuplex
+				wg.Add(1)
+				go func(s *core.Snippet) {
+					defer wg.Done()
+					// A stampede of simultaneous upgrades can overflow the
+					// listener backlog; retry like the Run loop would until
+					// the channel holds or the benchmark ends.
+					for {
+						s.DuplexOnce(stop)
+						select {
+						case <-stop:
+							return
+						default:
+							time.Sleep(time.Millisecond)
+						}
+					}
+				}(s)
+			}
+			b.Cleanup(func() {
+				close(stop)
+				wg.Wait()
+			})
+			// Warm: every channel attached and the initial snapshot applied.
+			for w.agent.ChannelsOpen() < int64(n) {
+				time.Sleep(50 * time.Microsecond)
+			}
+			for _, s := range snippets {
+				for s.DocTime() == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+
+			builds0 := w.agent.ContentBuilds()
+			frames0 := w.agent.FramesOut()
+			tick := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				marks := make([]int64, len(snippets))
+				for j, s := range snippets {
+					marks[j] = s.Stats().ContentPolls
+				}
+				tick++
+				b.StartTimer()
+				if err := benchutil.BumpDoc(w.host, tick); err != nil {
+					b.Fatal(err)
+				}
+				for j, s := range snippets {
+					for s.Stats().ContentPolls == marks[j] {
+						time.Sleep(20 * time.Microsecond)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(w.agent.ContentBuilds()-builds0)/float64(b.N), "builds/op")
+			b.ReportMetric(float64(w.agent.FramesOut()-frames0)/float64(b.N), "frames/op")
+		})
+	}
+}
+
 // BenchmarkConcurrentPoll stresses the single-flight guard: 64 participants
 // poll simultaneously immediately after a version bump, the worst case for
 // redundant generation. builds/op reports how many Figure 3 pipelines ran

@@ -62,6 +62,12 @@ func writeDelivery(site, outPath string) error {
 		{core.DeliveryLongPoll, experiment.DeliveryOptions{
 			Interval: time.Second, Wait: 10 * time.Second, Changes: 5, Gap: 100 * time.Millisecond, Idle: 2 * time.Second,
 			Actions: 5, ActionPush: true}},
+		// The persistent channel: downstream and upstream ride one framed
+		// socket, so both staleness columns sit at transfer time and the idle
+		// window issues zero polling requests.
+		{core.DeliveryDuplex, experiment.DeliveryOptions{
+			Interval: time.Second, Changes: 5, Gap: 100 * time.Millisecond, Idle: 2 * time.Second,
+			Actions: 5}},
 	}
 	for _, run := range runs {
 		res, err := experiment.MeasureDelivery(spec, run.mode, run.opt)
@@ -69,9 +75,9 @@ func writeDelivery(site, outPath string) error {
 			return err
 		}
 		snap.Results = append(snap.Results, res)
-		fmt.Fprintf(os.Stderr, "rcb-bench: delivery/%s\tmean staleness %v\tmax %v\tmean action staleness %v\tpolls %d\tidle polls %d/%v\n",
+		fmt.Fprintf(os.Stderr, "rcb-bench: delivery/%s\tmean staleness %v\tmax %v\tmean action staleness %v\tpolls %d\tidle polls %d/%v\tidle bytes %d\n",
 			res.Mode, res.MeanStaleness.Round(time.Microsecond), res.MaxStaleness.Round(time.Microsecond),
-			res.MeanActionStaleness.Round(time.Microsecond), res.Polls, res.IdlePolls, res.IdleWindow)
+			res.MeanActionStaleness.Round(time.Microsecond), res.Polls, res.IdlePolls, res.IdleWindow, res.IdleBytes)
 	}
 	var w io.Writer = os.Stdout
 	var f *os.File

@@ -36,6 +36,7 @@ func main() {
 	demo := flag.String("demo", "", "animated demo: 'maps' or 'shop'")
 	key := flag.String("key", "", "session secret; enables HMAC authentication")
 	cache := flag.Bool("cache", true, "serve cached objects to participants (cache mode)")
+	channels := flag.Bool("channels", true, "accept persistent-channel upgrades (rcb-join -duplex); off refuses them and participants fall back to long-poll")
 	maxParticipants := flag.Int("max-participants", 64, "admission cap: refuse joins beyond this many participants (SESSION_FULL); 0 = unlimited")
 	maxParked := flag.Int("max-parked", 256, "cap on concurrently parked long-polls; the oldest reader beyond it is shed (OVERCOMMITTED); 0 = unlimited")
 	shedWatermarks := flag.String("shed-watermarks", "",
@@ -64,6 +65,7 @@ func main() {
 	defer host.Close()
 	agent := core.NewAgent(host, selfAddr)
 	agent.DefaultCacheMode = *cache
+	agent.DisableChannel = !*channels
 	agent.MaxParticipants = *maxParticipants
 	agent.MaxParkedPolls = *maxParked
 	if *shedWatermarks != "" {

@@ -9,6 +9,7 @@
 //	rcb-join -agent http://host.example:3000 -key secret123 -interval 500ms
 //	rcb-join -agent http://host.example:3000 -longpoll   # hanging-GET push delivery
 //	rcb-join -agent http://host.example:3000 -longpoll -actionpush   # + fire-and-forget action upstream
+//	rcb-join -agent http://host.example:3000 -duplex     # one framed connection, both directions
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	key := flag.String("key", "", "session secret shared by the host")
 	interval := flag.Duration("interval", time.Second, "polling interval (and long-poll retry backoff)")
 	longpoll := flag.Bool("longpoll", false, "use hanging-GET delivery: the agent parks each poll until content changes")
+	duplex := flag.Bool("duplex", false, "use the persistent full-duplex channel: one framed connection carries updates down and actions up (degrades to long-poll, then interval)")
 	wait := flag.Duration("wait", 0, "max hang per long-poll request (0 = library default)")
 	actionpush := flag.Bool("actionpush", false, "with -longpoll: POST actions to the agent the moment they occur instead of piggybacking them on the next poll")
 	fetch := flag.Bool("objects", true, "download supplementary objects")
@@ -42,12 +44,20 @@ func main() {
 	snip := core.NewSnippet(b, strings.TrimSuffix(*agentURL, "/"), *key)
 	snip.PollInterval = *interval
 	snip.FetchObjects = *fetch
-	if *longpoll {
+	switch {
+	case *duplex:
+		snip.Delivery = core.DeliveryDuplex
+		snip.LongPollWait = *wait     // the long-poll fallback keeps its hang
+		snip.ActionPush = *actionpush // and its push lane, while degraded
+		if *longpoll {
+			fmt.Fprintln(os.Stderr, "rcb-join: -duplex already falls back to long-poll; ignoring -longpoll")
+		}
+	case *longpoll:
 		snip.Delivery = core.DeliveryLongPoll
 		snip.LongPollWait = *wait
 		snip.ActionPush = *actionpush
-	} else if *actionpush {
-		fmt.Fprintln(os.Stderr, "rcb-join: -actionpush requires -longpoll (interval mode keeps the paper's piggyback path); ignoring")
+	case *actionpush:
+		fmt.Fprintln(os.Stderr, "rcb-join: -actionpush requires -longpoll or -duplex (interval mode keeps the paper's piggyback path); ignoring")
 	}
 	snip.OnUserAction = func(a core.Action) {
 		fmt.Printf("  mirror: %s\n", a)
@@ -60,11 +70,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rcb-join:", err)
 		os.Exit(1)
 	}
-	if *longpoll && snip.ActionPush {
+	switch {
+	case *duplex:
+		fmt.Printf("joined %s; full-duplex channel (framed, both directions). Ctrl-C to leave.\n", *agentURL)
+	case *longpoll && snip.ActionPush:
 		fmt.Printf("joined %s; long-poll delivery + action push. Ctrl-C to leave.\n", *agentURL)
-	} else if *longpoll {
+	case *longpoll:
 		fmt.Printf("joined %s; long-poll delivery (hanging GET). Ctrl-C to leave.\n", *agentURL)
-	} else {
+	default:
 		fmt.Printf("joined %s; polling every %v. Ctrl-C to leave.\n", *agentURL, *interval)
 	}
 
@@ -103,6 +116,10 @@ func main() {
 		case <-stop:
 			st := snip.Stats()
 			fmt.Printf("left session: %d polls, %d updates, %d objects fetched", st.Polls, st.ContentPolls, st.ObjectFetches)
+			if st.DuplexUpgrades > 0 || st.DuplexFallbacks > 0 {
+				fmt.Printf(", %d channel upgrades (%d frames in, %d out, %d fallbacks)",
+					st.DuplexUpgrades, st.DuplexFramesIn, st.DuplexFramesOut, st.DuplexFallbacks)
+			}
 			if st.Relocates > 0 {
 				fmt.Printf(", %d relocations (now at %s)", st.Relocates, snip.CurrentAgentURL())
 			}

@@ -103,6 +103,11 @@ type Agent struct {
 	// specifies. Deltas are also skipped per poll unless the request opts in
 	// with a delta=1 field, so foreign interval-mode clients never see them.
 	DisableDelta bool
+	// DisableChannel refuses persistent-channel upgrades (POST /channel):
+	// every upgrade attempt gets the retry-carrying OVERCOMMITTED refusal and
+	// participants stay on the long-poll/interval tiers. An operator knob for
+	// deployments where proxies mishandle long-lived upgraded connections.
+	DisableChannel bool
 	// MaxParticipants caps concurrent participants; further connection
 	// requests are refused with SessionFull. Zero means unlimited.
 	MaxParticipants int
@@ -213,6 +218,11 @@ type Agent struct {
 	// enqueues, and disconnects.
 	hub *deliveryHub
 
+	// chmu guards the persistent-channel registry (channel.go): at most one
+	// framed full-duplex channel per participant, keyed by pid.
+	chmu     sync.Mutex
+	channels map[string]*agentChannel
+
 	// builds counts Figure 3 pipeline executions — the observable the
 	// single-flight tests and cache-effectiveness metrics key on.
 	builds atomic.Int64
@@ -225,6 +235,14 @@ type Agent struct {
 	diffBuilds atomic.Int64
 	// deltasServed counts polls answered with a deltaContent message.
 	deltasServed atomic.Int64
+
+	// Persistent-channel observables (channel.go): open channels, frames in
+	// each direction, and upgrades refused or channels closed toward the
+	// degradation ladder.
+	channelsOpen     atomic.Int64
+	framesOut        atomic.Int64
+	framesIn         atomic.Int64
+	channelFallbacks atomic.Int64
 
 	// Overload-control observables: every admission or degradation decision
 	// advances a counter.
@@ -386,16 +404,27 @@ func NewAgent(b *browser.Browser, addr string) *Agent {
 		dedup:         make(map[string]*dedupState),
 		buildHist:     make(map[bool][]int64),
 		hub:           newDeliveryHub(),
+		channels:      make(map[string]*agentChannel),
 	}
-	b.OnChange(func() { a.hub.notifyAllDebounced(a.WakeDebounce) })
+	b.OnChange(func() {
+		a.hub.notifyAllDebounced(a.WakeDebounce)
+		// Channel writers coalesce through their cap-1 notify slots, so the
+		// fleet wake needs no debounce of its own.
+		a.notifyAllChannels()
+	})
 	return a
 }
 
-// Close releases the delivery hub: every parked long-poll completes with
-// the empty response and later polls answer immediately, interval-style.
-// The agent remains usable afterwards — Close only retires the push
-// channel, typically just before the enclosing httpwire.Server closes.
-func (a *Agent) Close() { a.hub.close() }
+// Close releases the delivery hub and the persistent channels: every parked
+// long-poll completes with the empty response, every open channel receives
+// an AGENT_CLOSING close frame, and later polls answer immediately,
+// interval-style. The agent remains usable afterwards — Close only retires
+// the push channels, typically just before the enclosing httpwire.Server
+// closes.
+func (a *Agent) Close() {
+	a.hub.close()
+	a.closeAllChannels(closeSignal{reason: CloseAgentClosing})
+}
 
 // ParkedPolls reports how many long-polls are currently parked — the
 // observable fan-out tests and benchmarks synchronize on.
@@ -465,6 +494,11 @@ func (a *Agent) route(req *httpwire.Request) *httpwire.Response {
 			return errResp
 		}
 		return a.serveAction(req)
+	case req.Method == "POST" && req.Path() == "/channel":
+		if errResp := a.verifyAuth(req); errResp != nil {
+			return errResp
+		}
+		return a.serveChannelUpgrade(req)
 	case req.Method == "GET":
 		if errResp := a.verifyAuth(req); errResp != nil {
 			return errResp
@@ -805,17 +839,33 @@ func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time
 	return p, ts, wait, deltaOK, nil
 }
 
-// pollResponse runs step 3 of §4.1.1 — response sending — for one
-// participant poll. The prepared message bytes are shared across
-// participants; pending mirror actions are spliced in without re-rendering
-// the document payload, and the no-action fast path reuses the prepared
-// response object as-is. A poll that opted into deltas and acknowledges the
-// previous build's docTime gets the shared deltaContent script instead of
-// the full snapshot; every fallback case (first poll, base mismatch,
-// oversized or unavailable delta) degrades to the snapshot. hasNew is false
-// exactly when the response is the shared empty message: the state a
-// long-poll parks on instead of answering.
-func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp *httpwire.Response, hasNew bool) {
+// deliverOut is one delivery decision from deliver: the payload bytes to
+// send, the docTime the recipient holds after applying them, and whether
+// the payload is a deltaContent script. resp is the shared prepared response
+// when the payload is reusable as-is (no per-participant splice) — the poll
+// path sends it without allocating; the channel path only needs body. The
+// drained outbox actions ride along so a failed channel write can requeue
+// them instead of dropping mirror traffic on the floor.
+type deliverOut struct {
+	resp    *httpwire.Response
+	body    []byte
+	docTime int64
+	isDelta bool
+	hasNew  bool
+	actions []Action
+}
+
+// deliver runs step 3 of §4.1.1 — response sending — for one participant,
+// shared by the poll path and the persistent-channel writer. The prepared
+// message bytes are shared across participants; pending mirror actions are
+// spliced in without re-rendering the document payload, and the no-action
+// fast path reuses the prepared response object as-is. A recipient that
+// opted into deltas and acknowledges the previous build's docTime gets the
+// shared deltaContent script instead of the full snapshot; every fallback
+// case (first delivery, base mismatch, oversized or unavailable delta)
+// degrades to the snapshot. hasNew is false exactly when there is nothing
+// to send: the state a long-poll parks on and a channel writer sleeps on.
+func (a *Agent) deliver(p *participantState, ts int64, deltaOK bool) (deliverOut, error) {
 	p.mu.Lock()
 	mode := p.CacheMode
 	outbox := p.outbox
@@ -827,8 +877,7 @@ func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp 
 
 	prep, err := a.contentForMode(mode)
 	if err != nil {
-		a.logf("rcb-agent: content generation: %v", err)
-		return httpwire.NewResponse(500, "text/plain", []byte("content generation failed\n")), true
+		return deliverOut{actions: outbox}, err
 	}
 	if prep != nil && ts > prep.docTime {
 		// The participant acknowledges a docTime this agent never issued:
@@ -838,31 +887,50 @@ func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp 
 		ts = 0
 	}
 	if prep != nil && prep.docTime > ts {
-		// ts == 0 is a first poll: the participant has no base to patch.
+		// ts == 0 is a first delivery: the participant has no base to patch.
 		// The shed ladder's first step turns deltas off — the full snapshot
 		// costs bandwidth but releases the retained delta-base build.
 		if deltaOK && !a.DisableDelta && ts > 0 && a.ShedLevel() < ShedNoDelta {
 			if d := a.deltaFor(mode, ts, prep); d != nil {
 				a.deltasServed.Add(1)
 				if len(outbox) == 0 {
-					return d.resp, true
+					return deliverOut{resp: d.resp, body: d.xml, docTime: d.docTime, isDelta: true, hasNew: true}, nil
 				}
-				return httpwire.NewResponse(200, "application/xml", d.WithUserActions(outbox)), true
+				return deliverOut{body: d.WithUserActions(outbox), docTime: d.docTime, isDelta: true, hasNew: true, actions: outbox}, nil
 			}
 		}
 		if len(outbox) == 0 {
-			return prep.resp, true
+			return deliverOut{resp: prep.resp, body: prep.xml, docTime: prep.docTime, hasNew: true}, nil
 		}
-		return httpwire.NewResponse(200, "application/xml", prep.WithUserActions(outbox)), true
+		return deliverOut{body: prep.WithUserActions(outbox), docTime: prep.docTime, hasNew: true, actions: outbox}, nil
 	}
 	if len(outbox) > 0 {
 		nc := &NewContent{DocTime: ts, UserActions: outbox}
-		return httpwire.NewResponse(200, "application/xml", nc.Marshal()), true
+		return deliverOut{body: nc.Marshal(), docTime: ts, hasNew: true, actions: outbox}, nil
 	}
-	// "If no new content needs to be sent back, RCB-Agent sends a response
-	// with empty content ... to avoid hanging requests." All empty polls
-	// share one immutable response object.
-	return emptyPollResponse, false
+	return deliverOut{docTime: ts}, nil
+}
+
+// pollResponse adapts deliver to the HTTP poll path. hasNew is false exactly
+// when the response is the shared empty message: the state a long-poll parks
+// on instead of answering.
+func (a *Agent) pollResponse(p *participantState, ts int64, deltaOK bool) (resp *httpwire.Response, hasNew bool) {
+	out, err := a.deliver(p, ts, deltaOK)
+	if err != nil {
+		a.logf("rcb-agent: content generation: %v", err)
+		return httpwire.NewResponse(500, "text/plain", []byte("content generation failed\n")), true
+	}
+	if !out.hasNew {
+		// "If RCB-Agent indicates no new content with an empty response
+		// content, Ajax-Snippet simply ... send[s] a new polling request
+		// after a specified time interval." All empty polls share one
+		// immutable response object.
+		return emptyPollResponse, false
+	}
+	if out.resp != nil {
+		return out.resp, true
+	}
+	return httpwire.NewResponse(200, "application/xml", out.body), true
 }
 
 // Shared immutable responses for the poll hot path; they must never be
@@ -1005,6 +1073,9 @@ func (a *Agent) DisconnectWith(pid string, reason CloseReason) {
 		a.logf("rcb-agent: participant %s disconnected: %s", pid, reason)
 	}
 	a.hub.notifyPID(pid)
+	// A live channel learns of the disconnect the same way a parked poll
+	// does: immediately, with the reason on the wire (a close frame here).
+	a.closeChannel(pid, closeSignal{reason: reason})
 }
 
 // rememberedCloses bounds the disconnect-reason memory.
@@ -1492,6 +1563,7 @@ func (a *Agent) Broadcast(act Action) {
 			a.outboxDepth.Add(int64(d))
 		}
 		a.hub.notifyPID(p.ID)
+		a.notifyChannel(p.ID)
 	}
 	a.pmu.RUnlock()
 	a.maybeEvalLoad()

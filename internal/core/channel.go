@@ -1,0 +1,541 @@
+package core
+
+// The persistent full-duplex channel: one framed connection replacing the
+// long-poll/push-lane pair. A participant upgrades a normal HMAC-verified
+// POST /channel exchange into a frame stream (httpwire frame codec) and the
+// agent registers the connection with its delivery machinery as a push
+// sink: a build landing fans the shared prepared/delta bytes out to every
+// attached channel the moment it exists — no park/wake counters, no
+// per-update request parse, no per-update HMAC (the connection was
+// authenticated once, at the upgrade). Upstream, the same socket carries
+// action frames and acks, retiring the separate /action lane while the
+// channel is up.
+//
+// This file is the server half; the client half (DeliveryDuplex) lives in
+// duplex.go. Both speak the frame schema below.
+
+import (
+	"bufio"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"rcb/internal/httpwire"
+)
+
+// Frame types of the RCB channel protocol. The httpwire frame codec treats
+// them as opaque bytes; this is where they gain meaning.
+const (
+	// FrameContent carries a full newContent XML message (server→client).
+	FrameContent byte = 1
+	// FrameDelta carries a deltaContent XML message (server→client).
+	FrameDelta byte = 2
+	// FrameActions carries an EncodeActions payload (client→server) — the
+	// upstream that replaces both piggybacking and the /action lane.
+	FrameActions byte = 3
+	// FrameAck acknowledges an applied docTime, decimal-encoded
+	// (client→server). An ack of 0 reports a failed apply: the client
+	// desynced and the server must resend the full snapshot.
+	FrameAck byte = 4
+	// FrameActionAck confirms merged actions (server→client): the payload is
+	// the highest CSeq the agent has accepted from this client, so the
+	// client can drop its retransmit buffer up to that point.
+	FrameActionAck byte = 5
+	// FramePing/FramePong are the keepalive probe pair; the payload is
+	// echoed back verbatim.
+	FramePing byte = 6
+	FramePong byte = 7
+	// FrameClose announces an orderly teardown. The payload is form-encoded:
+	// reason=<CloseReason name>[&retry=<ms>][&relocate=<addr>] — the frame
+	// equivalent of the Rcb-Close-Reason response headers.
+	FrameClose byte = 8
+)
+
+// closeSignal is one pending close-with-reason for a channel: the frame
+// payload of the FrameClose the writer sends before tearing down.
+type closeSignal struct {
+	reason   CloseReason
+	retry    time.Duration
+	relocate string
+}
+
+// encodeCloseSignal renders the FrameClose payload.
+func encodeCloseSignal(cs closeSignal) []byte {
+	fields := []httpwire.FormField{{Name: "reason", Value: cs.reason.String()}}
+	if cs.retry > 0 {
+		fields = append(fields, httpwire.FormField{Name: "retry", Value: strconv.FormatInt(cs.retry.Milliseconds(), 10)})
+	}
+	if cs.relocate != "" {
+		fields = append(fields, httpwire.FormField{Name: "relocate", Value: cs.relocate})
+	}
+	return httpwire.AppendForm(make([]byte, 0, 64), fields)
+}
+
+// decodeCloseSignal parses a FrameClose payload. Unknown reasons come back
+// as CloseUnknown — a protocol-violating bare close never reads as "no
+// reason given".
+func decodeCloseSignal(payload []byte) closeSignal {
+	var cs closeSignal
+	for _, f := range httpwire.ParseForm(string(payload)) {
+		switch f.Name {
+		case "reason":
+			cs.reason = ParseCloseReason(f.Value)
+		case "retry":
+			cs.retry = parseRetryAfterMS(f.Value)
+		case "relocate":
+			cs.relocate = f.Value
+		}
+	}
+	if cs.reason == CloseNone {
+		cs.reason = CloseUnknown
+	}
+	return cs
+}
+
+// agentChannel is one registered persistent channel: the server-side state
+// of a participant's framed connection. The writer goroutine owns delivery
+// (it is the participant's push sink); the reader goroutine handles the
+// upstream direction. base — the docTime the client is known to hold — is
+// advanced by the writer as it sends and reset to zero by the reader when
+// the client reports a failed apply (FrameAck 0), forcing a full resend.
+type agentChannel struct {
+	pid     string
+	conn    *httpwire.ChannelConn
+	deltaOK bool
+
+	// notify has capacity 1: concurrent wake-ups coalesce into one flush
+	// pass, exactly the semantics the hub's park/wake counters provide for
+	// long-polls — but with no counters and no re-parse per update.
+	notify chan struct{}
+	// done is closed by shutdown; it unblocks the writer's wait.
+	done     chan struct{}
+	doneOnce sync.Once
+
+	mu      sync.Mutex
+	base    int64
+	pending *closeSignal // close-with-reason awaiting the writer
+}
+
+// wake nudges the writer; a wake while one is already queued coalesces.
+func (ch *agentChannel) wake() {
+	select {
+	case ch.notify <- struct{}{}:
+	default:
+	}
+}
+
+// shutdown tears the channel down: unblocks both loops and closes the
+// socket. Idempotent, callable from any goroutine.
+func (ch *agentChannel) shutdown() {
+	ch.doneOnce.Do(func() {
+		close(ch.done)
+		ch.conn.Close()
+	})
+}
+
+// requestClose schedules an orderly close: the writer sends a FrameClose
+// with the first reason recorded, then tears down. Later reasons lose —
+// whoever closed first named the cause.
+func (ch *agentChannel) requestClose(cs closeSignal) {
+	ch.mu.Lock()
+	if ch.pending == nil {
+		ch.pending = &cs
+	}
+	ch.mu.Unlock()
+	ch.wake()
+}
+
+// ChannelsOpen reports how many persistent channels are currently attached —
+// the observable duplex tests and benchmarks synchronize on.
+func (a *Agent) ChannelsOpen() int64 { return a.channelsOpen.Load() }
+
+// FramesOut reports frames written to channels (content, deltas, acks,
+// pongs, closes).
+func (a *Agent) FramesOut() int64 { return a.framesOut.Load() }
+
+// FramesIn reports frames read from channels (actions, acks, pings, closes).
+func (a *Agent) FramesIn() int64 { return a.framesIn.Load() }
+
+// ChannelFallbacks reports upgrades refused and channels closed toward the
+// degradation ladder (shed pressure, handover) — each one is a client
+// falling back to long-poll.
+func (a *Agent) ChannelFallbacks() int64 { return a.channelFallbacks.Load() }
+
+// serveChannelUpgrade answers POST /channel: admission control, then a 101
+// whose Hijack callback runs the channel session on the connection's own
+// goroutine. The request is authenticated by the caller (route), and the
+// relocation fence was already consulted by ServeWire — an upgrade against
+// a moved agent never reaches here. The request body mirrors a poll's: the
+// client's acknowledged ts (so an up-to-date client is not resent content
+// it holds) and the delta opt-in.
+func (a *Agent) serveChannelUpgrade(req *httpwire.Request) *httpwire.Response {
+	a.maybeEvalLoad()
+	if a.DisableChannel || a.ShedLevel() >= ShedInterval || a.handoverPending() {
+		// The channel is precisely the per-client state the interval step
+		// exists to shed; refuse with the same retry-carrying answer a
+		// refused park gets, and the client degrades to long-poll.
+		a.channelFallbacks.Add(1)
+		resp := closeResponse(CloseOvercommitted)
+		resp.Header.Set(RetryAfterHeader, strconv.FormatInt(a.shedRetryAfter().Milliseconds(), 10))
+		return resp
+	}
+	pid := pidFromRequest(req)
+	var ts int64
+	var deltaOK bool
+	for _, f := range httpwire.ParseForm(string(req.Body)) {
+		switch f.Name {
+		case "ts":
+			ts, _ = strconv.ParseInt(f.Value, 10, 64)
+		case "delta":
+			deltaOK = f.Value == "1"
+		case "pid":
+			if pid == "" {
+				pid = f.Value
+			}
+		}
+	}
+	p := a.participant(pid)
+	if p == nil {
+		return a.disconnectedResponse(pid)
+	}
+	if deltaOK && a.DisableDelta {
+		deltaOK = false
+	}
+	resp := httpwire.NewResponse(101, "", nil)
+	resp.Header.Set("Upgrade", "rcb-channel/1")
+	resp.Header.Set("Connection", "Upgrade")
+	resp.Hijack = func(conn net.Conn, br *bufio.Reader) {
+		a.runChannel(httpwire.NewChannelConn(conn, br), pid, ts, deltaOK)
+	}
+	a.logf("rcb-agent: participant %s upgraded to persistent channel", pid)
+	return resp
+}
+
+// runChannel owns one upgraded connection for its lifetime: register,
+// spawn the reader, drive the writer, tear down. Runs on the server
+// connection's goroutine (the Hijack contract); returning closes the conn.
+func (a *Agent) runChannel(conn *httpwire.ChannelConn, pid string, ts int64, deltaOK bool) {
+	ch := &agentChannel{
+		pid:     pid,
+		conn:    conn,
+		deltaOK: deltaOK,
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		base:    ts,
+	}
+	a.registerChannel(ch)
+	a.channelsOpen.Add(1)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		a.channelReader(ch)
+	}()
+	// Immediate first pass: anything newer than the client's acknowledged
+	// ts is pushed before the first document change lands.
+	ch.wake()
+	a.channelWriter(ch)
+	ch.shutdown()
+	<-readerDone
+	a.channelsOpen.Add(-1)
+	a.unregisterChannel(ch)
+	a.logf("rcb-agent: participant %s channel detached", pid)
+}
+
+// channelWriter is the delivery loop: sleep on the notify slot, flush
+// whatever is pending, repeat until the channel dies.
+func (a *Agent) channelWriter(ch *agentChannel) {
+	for {
+		select {
+		case <-ch.done:
+			return
+		case <-ch.notify:
+		}
+		if !a.channelFlush(ch) {
+			return
+		}
+	}
+}
+
+// channelFlush pushes pending state down one channel until nothing is left,
+// returning false when the channel must tear down. Delivery decisions run
+// under the serve/state barrier's read side, exactly like a poll's — a
+// handover fence waits out an in-flight flush — but the socket write
+// happens outside it, like a poll response's.
+func (a *Agent) channelFlush(ch *agentChannel) bool {
+	for {
+		ch.mu.Lock()
+		pending := ch.pending
+		base := ch.base
+		ch.mu.Unlock()
+		if pending != nil {
+			a.writeClose(ch, *pending)
+			return false
+		}
+		a.smu.RLock()
+		if a.relocatedTo != "" {
+			// Handover completed under us: tell the client where the session
+			// went over the live channel — the frame analogue of the MOVED
+			// response — so it rejoins the new agent directly.
+			cs := closeSignal{reason: CloseMoved, retry: a.movedRetryAfter(), relocate: a.relocatedTo}
+			a.smu.RUnlock()
+			a.channelFallbacks.Add(1)
+			a.writeClose(ch, cs)
+			return false
+		}
+		a.maybeEvalLoad()
+		if a.measuredShedLevel() >= ShedInterval {
+			// Real overload (not a handover's forced quiesce — channels must
+			// outlive that to receive the MOVED frame): shed the per-client
+			// channel state; the client falls back to interval-paced polling
+			// under the same retry hint a refused park carries.
+			cs := closeSignal{reason: CloseOvercommitted, retry: a.shedRetryAfter()}
+			a.smu.RUnlock()
+			a.channelFallbacks.Add(1)
+			a.writeClose(ch, cs)
+			return false
+		}
+		p := a.participant(ch.pid)
+		if p == nil {
+			reason := a.closeReasonFor(ch.pid)
+			a.smu.RUnlock()
+			a.writeClose(ch, closeSignal{reason: reason})
+			return false
+		}
+		out, err := a.deliver(p, base, ch.deltaOK && base > 0)
+		a.smu.RUnlock()
+		if err != nil {
+			a.logf("rcb-agent: channel %s content generation: %v", ch.pid, err)
+			a.requeueOutbox(ch.pid, out.actions)
+			return true // possibly transient; wait for the next wake
+		}
+		if !out.hasNew {
+			return true
+		}
+		ftype := FrameContent
+		if out.isDelta {
+			ftype = FrameDelta
+		}
+		if werr := ch.conn.WriteFrame(httpwire.Frame{Type: ftype, Payload: out.body}); werr != nil {
+			// The socket died with mirror actions already drained from the
+			// outbox: put them back so the participant's recovery poll
+			// delivers them — channel failure may delay an action, never
+			// drop it.
+			a.requeueOutbox(ch.pid, out.actions)
+			return false
+		}
+		a.framesOut.Add(1)
+		ch.mu.Lock()
+		if ch.base == base {
+			// Advance only if the reader didn't reset base to 0 (FrameAck 0,
+			// client desync) while this frame was being computed — a resync
+			// request must win over an optimistic advance.
+			ch.base = out.docTime
+		}
+		ch.mu.Unlock()
+		// Loop: more may have become pending while the write was in flight.
+	}
+}
+
+// writeClose sends the FrameClose for cs, best-effort: the channel is
+// being torn down either way.
+func (a *Agent) writeClose(ch *agentChannel, cs closeSignal) {
+	if err := ch.conn.WriteFrame(httpwire.Frame{Type: FrameClose, Payload: encodeCloseSignal(cs)}); err == nil {
+		a.framesOut.Add(1)
+	}
+	a.logf("rcb-agent: channel %s closed: %s", ch.pid, cs.reason)
+}
+
+// channelReader drains the upstream direction: action frames, acks, pings,
+// and the client's own close. A read error (peer gone, server closing the
+// conn) tears the channel down silently — there is nobody left to send a
+// close frame to.
+func (a *Agent) channelReader(ch *agentChannel) {
+	for {
+		f, err := ch.conn.ReadFrame()
+		if err != nil {
+			ch.shutdown()
+			return
+		}
+		a.framesIn.Add(1)
+		switch f.Type {
+		case FrameActions:
+			a.channelActions(ch, string(f.Payload))
+		case FrameAck:
+			ts, _ := strconv.ParseInt(string(f.Payload), 10, 64)
+			a.channelAck(ch, ts)
+		case FramePing:
+			if err := ch.conn.WriteFrame(httpwire.Frame{Type: FramePong, Payload: f.Payload}); err == nil {
+				a.framesOut.Add(1)
+			}
+		case FrameClose:
+			// The client detached (degradation, shutdown). The participant
+			// stays registered — a channel teardown is not a leave — and its
+			// next delivery rides whatever path it reconnects on.
+			ch.shutdown()
+			return
+		default:
+			// Unknown frame type: ignore, for forward compatibility.
+		}
+	}
+}
+
+// channelActions merges one upstream action frame — the poll protocol's
+// step 1 (data merging) arriving on the channel. The replay filter runs
+// first, exactly as on the poll and /action paths, so the client's
+// requeue-after-channel-death retransmits stay exactly-once. The merged
+// batch is confirmed with a FrameActionAck carrying the highest CSeq seen,
+// which lets the client prune its retransmit buffer.
+func (a *Agent) channelActions(ch *agentChannel, payload string) {
+	a.smu.RLock()
+	if a.relocatedTo != "" {
+		// Past the relocation fence no state may change; wake the writer so
+		// it delivers the MOVED close, and let the client's retransmit path
+		// replay the actions at the new agent.
+		a.smu.RUnlock()
+		ch.wake()
+		return
+	}
+	p := a.participant(ch.pid)
+	if p == nil {
+		a.smu.RUnlock()
+		ch.requestClose(closeSignal{reason: a.closeReasonFor(ch.pid)})
+		return
+	}
+	actions, err := DecodeActions(payload)
+	if err != nil || len(actions) == 0 {
+		a.smu.RUnlock()
+		return // malformed upstream: drop the frame, keep the channel
+	}
+	var maxSeq int64
+	for _, act := range actions {
+		if act.CSeq > maxSeq {
+			maxSeq = act.CSeq
+		}
+	}
+	for _, act := range a.freshActions(actions) {
+		act.From = p.ID
+		a.handleAction(p.ID, act)
+	}
+	p.mu.Lock()
+	p.LastSeen = time.Now()
+	p.mu.Unlock()
+	a.smu.RUnlock()
+	if maxSeq > 0 {
+		buf := strconv.AppendInt(make([]byte, 0, 20), maxSeq, 10)
+		if err := ch.conn.WriteFrame(httpwire.Frame{Type: FrameActionAck, Payload: buf}); err == nil {
+			a.framesOut.Add(1)
+		}
+	}
+}
+
+// channelAck records the client's applied docTime. A positive ack keeps the
+// stale-reader ruler honest (LastDocTime advances exactly as a poll's ts
+// would); an ack of zero is a desync report — reset the delivery base and
+// wake the writer so the full snapshot goes out.
+func (a *Agent) channelAck(ch *agentChannel, ts int64) {
+	if ts <= 0 {
+		ch.mu.Lock()
+		ch.base = 0
+		ch.mu.Unlock()
+		ch.wake()
+		return
+	}
+	if p := a.participant(ch.pid); p != nil {
+		p.mu.Lock()
+		p.LastDocTime = ts
+		p.LastSeen = time.Now()
+		p.mu.Unlock()
+	}
+}
+
+// requeueOutbox returns drained mirror actions to the front of a
+// participant's outbox after a failed channel write, so the recovery path
+// (fallback poll, reattached channel) still delivers them.
+func (a *Agent) requeueOutbox(pid string, actions []Action) {
+	if len(actions) == 0 {
+		return
+	}
+	p := a.participant(pid)
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	before := len(p.outbox)
+	p.outbox = append(append(make([]Action, 0, len(actions)+len(p.outbox)), actions...), p.outbox...)
+	if len(p.outbox) > maxOutbox {
+		p.outbox = p.outbox[len(p.outbox)-maxOutbox:]
+	}
+	after := len(p.outbox)
+	p.mu.Unlock()
+	if d := after - before; d != 0 {
+		a.outboxDepth.Add(int64(d))
+	}
+	a.hub.notifyPID(pid)
+}
+
+// registerChannel installs ch as pid's channel. A newer upgrade replaces an
+// older channel (typically a client re-upgrading after a fallback, its old
+// socket half-dead); the replaced one is torn down silently.
+func (a *Agent) registerChannel(ch *agentChannel) {
+	a.chmu.Lock()
+	old := a.channels[ch.pid]
+	a.channels[ch.pid] = ch
+	a.chmu.Unlock()
+	if old != nil {
+		old.shutdown()
+	}
+}
+
+// unregisterChannel removes ch unless a newer channel already replaced it.
+func (a *Agent) unregisterChannel(ch *agentChannel) {
+	a.chmu.Lock()
+	if a.channels[ch.pid] == ch {
+		delete(a.channels, ch.pid)
+	}
+	a.chmu.Unlock()
+}
+
+// notifyChannel wakes pid's channel writer, if one is attached.
+func (a *Agent) notifyChannel(pid string) {
+	a.chmu.Lock()
+	ch := a.channels[pid]
+	a.chmu.Unlock()
+	if ch != nil {
+		ch.wake()
+	}
+}
+
+// notifyAllChannels wakes every channel writer — the document-change
+// fan-out. Each writer re-reads shared prepared bytes; no per-channel work
+// happens here beyond a non-blocking send.
+func (a *Agent) notifyAllChannels() {
+	a.chmu.Lock()
+	for _, ch := range a.channels {
+		ch.wake()
+	}
+	a.chmu.Unlock()
+}
+
+// closeChannel schedules an orderly close of pid's channel, if attached.
+func (a *Agent) closeChannel(pid string, cs closeSignal) {
+	a.chmu.Lock()
+	ch := a.channels[pid]
+	a.chmu.Unlock()
+	if ch != nil {
+		ch.requestClose(cs)
+	}
+}
+
+// closeAllChannels schedules an orderly close of every attached channel.
+func (a *Agent) closeAllChannels(cs closeSignal) {
+	a.chmu.Lock()
+	chans := make([]*agentChannel, 0, len(a.channels))
+	for _, ch := range a.channels {
+		chans = append(chans, ch)
+	}
+	a.chmu.Unlock()
+	for _, ch := range chans {
+		ch.requestClose(cs)
+	}
+}

@@ -172,8 +172,17 @@ func runChaosScenario(t *testing.T, seed int64) {
 		s.RetryMax = 250 * time.Millisecond
 		jitterRng := rand.New(rand.NewSource(seed*101 + int64(i)))
 		s.RetryRand = jitterRng.Float64
-		if rng.Intn(3) != 0 {
+		switch rng.Intn(6) {
+		case 0, 1, 2:
 			s.Delivery = DeliveryLongPoll
+			s.LongPollWait = 150 * time.Millisecond
+			s.ActionPush = rng.Intn(2) == 0
+		case 3, 4:
+			// Full-duplex channel participants: every fault severs or refuses
+			// the channel, so these exercise the whole degradation ladder —
+			// duplex → long-poll fallback → backoff → re-upgrade — plus the
+			// retransmit buffer when a write raced a reset.
+			s.Delivery = DeliveryDuplex
 			s.LongPollWait = 150 * time.Millisecond
 			s.ActionPush = rng.Intn(2) == 0
 		}

@@ -100,8 +100,26 @@ type convParticipant struct {
 	churn   bool // may be disconnected/rejoined; exempt from assertions
 	gone    bool // currently disconnected
 
+	// Duplex participants run a live Run loop (the channel is inherently
+	// asynchronous); stopRun/runDone manage its lifecycle per join
+	// generation, runErrs collects errors a stable participant must never
+	// see on a clean network.
+	stopRun chan struct{}
+	runDone chan struct{}
+
 	mu       sync.Mutex
 	received map[string]int // mirrored action key → deliveries
+	runErrs  []error
+}
+
+// stopRunLoop ends the participant's Run loop, if one is active.
+func (p *convParticipant) stopRunLoop() {
+	if p.stopRun == nil {
+		return
+	}
+	close(p.stopRun)
+	<-p.runDone
+	p.stopRun, p.runDone = nil, nil
 }
 
 func (p *convParticipant) onAction(act Action) {
@@ -176,16 +194,23 @@ func runConvergenceScenario(t *testing.T, corpus *sites.Corpus, idx int) {
 	parts := make([]*convParticipant, nParts)
 	joinSeq := 0
 	join := func(p *convParticipant) {
+		p.stopRunLoop()
 		joinSeq++
 		p.pid = fmt.Sprintf("p%d", joinSeq)
 		snip := NewSnippet(p.browser, "http://"+addr, "")
 		snip.FetchObjects = false
-		if rng.Intn(2) == 0 {
+		switch rng.Intn(4) {
+		case 0, 1:
 			snip.Delivery = DeliveryLongPoll
 			// Tiny hang: a park that nothing wakes resolves in ~1ms, so the
 			// synchronous scenario driver still exercises park/timeout
 			// machinery without stalling.
 			snip.LongPollWait = time.Millisecond
+			snip.ActionPush = rng.Intn(2) == 0
+		case 2:
+			snip.Delivery = DeliveryDuplex
+			snip.LongPollWait = time.Millisecond
+			snip.PollInterval = 5 * time.Millisecond
 			snip.ActionPush = rng.Intn(2) == 0
 		}
 		snip.DisableDelta = rng.Intn(3) == 0
@@ -195,6 +220,25 @@ func runConvergenceScenario(t *testing.T, corpus *sites.Corpus, idx int) {
 		}
 		p.snip = snip
 		p.gone = false
+		if snip.Delivery == DeliveryDuplex {
+			// The channel is push-driven, so a duplex participant runs the
+			// real Run loop in the background instead of driver-paced polls.
+			// On this clean network a stable participant must never see an
+			// error; the churn participant's LEAVE close is expected.
+			p.stopRun = make(chan struct{})
+			p.runDone = make(chan struct{})
+			go func(pp *convParticipant, sn *Snippet, stop, done chan struct{}) {
+				defer close(done)
+				sn.Run(stop, func(err error) {
+					if pp.churn {
+						return
+					}
+					pp.mu.Lock()
+					pp.runErrs = append(pp.runErrs, err)
+					pp.mu.Unlock()
+				})
+			}(p, snip, p.stopRun, p.runDone)
+		}
 	}
 	for i := range parts {
 		p := &convParticipant{
@@ -260,7 +304,9 @@ func runConvergenceScenario(t *testing.T, corpus *sites.Corpus, idx int) {
 	}
 
 	poll := func(p *convParticipant) (bool, int64) {
-		if p.gone {
+		if p.gone || p.snip.Delivery == DeliveryDuplex {
+			// Duplex participants are fed by their Run loop; a driver poll
+			// would race the channel reader over the same snippet.
 			return false, 0
 		}
 		pre := p.snip.Stats()
@@ -396,6 +442,21 @@ func runConvergenceScenario(t *testing.T, corpus *sites.Corpus, idx int) {
 		}
 	}
 	mutateHost() // final version every replica must reach
+
+	// Actions fired by duplex participants travel the channel asynchronously;
+	// wait for the agent's policy pipeline to see each one before draining so
+	// the drain rounds below deliver the resulting mirror outboxes. Sync
+	// senders are excluded — their queued piggybacks flush during the drain.
+	actDeadline := time.Now().Add(5 * time.Second)
+	for _, rec := range fired {
+		if parts[rec.sender].snip.Delivery != DeliveryDuplex {
+			continue
+		}
+		for policy.count(rec.key) == 0 && time.Now().Before(actDeadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
 	recvTotal := func() int {
 		n := 0
 		for _, p := range parts {
@@ -407,8 +468,14 @@ func runConvergenceScenario(t *testing.T, corpus *sites.Corpus, idx int) {
 		}
 		return n
 	}
+	anyDuplex := false
+	for _, p := range parts {
+		if p.snip.Delivery == DeliveryDuplex {
+			anyDuplex = true
+		}
+	}
 	for round := 0; ; round++ {
-		if round > 12 {
+		if round > 40 {
 			fail("drain did not reach a fixpoint in %d rounds", round)
 		}
 		moved := false
@@ -418,6 +485,11 @@ func runConvergenceScenario(t *testing.T, corpus *sites.Corpus, idx int) {
 			if updated || sent > 0 {
 				moved = true
 			}
+		}
+		if anyDuplex {
+			// Channel deliveries are asynchronous; give in-flight frames a
+			// beat to land so the recvTotal check below observes them.
+			time.Sleep(time.Millisecond)
 		}
 		if recvTotal() != pre {
 			moved = true
@@ -435,15 +507,40 @@ func runConvergenceScenario(t *testing.T, corpus *sites.Corpus, idx int) {
 	}
 	defer ref.browser.Close()
 	join(ref)
+	// The reference only needs one synchronous snapshot poll; if the dice
+	// gave it a duplex channel, retire that and poll directly.
+	ref.stopRunLoop()
+	ref.snip.Delivery = DeliveryInterval
 	if _, err := ref.snip.PollOnce(); err != nil {
 		fail("reference poll: %v", err)
 	}
 	want := docHTML(t, ref.browser)
+	deadline := time.Now().Add(10 * time.Second)
 	for i, p := range parts {
 		got := docHTML(t, p.browser)
+		// A duplex participant's final frame may still be in flight — the
+		// driver's fixpoint cannot observe channel content movement — so
+		// convergence for it is eventual, bounded by the deadline.
+		for got != want && p.snip.Delivery == DeliveryDuplex && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Microsecond)
+			got = docHTML(t, p.browser)
+		}
 		if got != want {
 			fail("participant %d (%s, delivery=%d delta=%v push=%v churn=%v) diverged:\n got: %s\nwant: %s",
 				i, p.pid, p.snip.Delivery, !p.snip.DisableDelta, p.snip.ActionPush, p.churn, got, want)
+		}
+	}
+
+	// Channel quiescence: join every Run loop before counting deliveries,
+	// and require that no stable duplex participant ever saw a run error on
+	// this clean network.
+	for i, p := range parts {
+		p.stopRunLoop()
+		p.mu.Lock()
+		errs := p.runErrs
+		p.mu.Unlock()
+		if len(errs) > 0 {
+			fail("participant %d (%s) duplex run errors: %v", i, p.pid, errs)
 		}
 	}
 

@@ -217,6 +217,11 @@ func (a *Agent) HandoverTo(client *httpwire.Client, addr string) error {
 	// in-flight merges have drained (setRelocated waits out the barrier's
 	// readers), so the snapshot below is the session's final word.
 	a.setRelocated(addr)
+	// Persistent channels survive the quiesce (their writers shed only on
+	// the measured ladder, not the forced floor) precisely so this wake can
+	// deliver the MOVED close frame over the live channel — the framed
+	// analogue of the MOVED response every poll now receives.
+	a.notifyAllChannels()
 	state, err := a.ExportState()
 	if err != nil {
 		a.setRelocated("")

@@ -197,6 +197,13 @@ func (a *Agent) ShedLevel() ShedLevel {
 	return lvl
 }
 
+// measuredShedLevel reports the ladder's measured step alone, ignoring any
+// forced floor. The channel writer sheds on this: a handover quiesce forces
+// ShedInterval but must leave live channels attached so they can receive
+// their MOVED close frame at the fence, while genuine load-driven
+// ShedInterval does tear channels down.
+func (a *Agent) measuredShedLevel() ShedLevel { return ShedLevel(a.shed.level.Load()) }
+
 // forceShed pins the ladder at or above lvl until released with
 // forceShed(ShedNone). The measured ladder keeps evaluating underneath and
 // wins if it is higher.
@@ -229,7 +236,10 @@ func (a *Agent) EvaluateLoad() ShedLevel {
 	a.shed.mu.Lock()
 	defer a.shed.mu.Unlock()
 
-	parked := a.hub.parkedCount()
+	// Persistent channels are per-client held state exactly like parked
+	// long-polls — one socket, one goroutine pair, one delivery obligation —
+	// so they weigh on the same signal and the ladder sees channel pressure.
+	parked := a.hub.parkedCount() + int(a.channelsOpen.Load())
 	outbox := int(a.outboxDepth.Load())
 	var heap uint64
 	if w.HeapHigh > 0 {

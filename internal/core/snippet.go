@@ -30,6 +30,12 @@ type SnippetStats struct {
 	LastApplyTime    time.Duration // duration of the last Figure 5 application (the paper's M6)
 	ObjectFetches    int64
 	ObjectsFromAgent int64
+	// Duplex counters: activity on the framed persistent channel.
+	DuplexUpgrades    int64 // successful POST /channel upgrades
+	DuplexFramesIn    int64 // frames received over channels
+	DuplexFramesOut   int64 // frames sent over channels (actions, acks, pings)
+	DuplexActionsSent int64 // actions delivered as channel frames
+	DuplexFallbacks   int64 // channel losses/refusals that degraded to polling
 	// LastCloseReason is the most recent close reason the agent sent —
 	// why this snippet was dropped, refused, or told to back off.
 	LastCloseReason CloseReason
@@ -52,6 +58,16 @@ const (
 	// PollInterval. Action piggybacking and requeue-on-failure work
 	// exactly as in interval mode.
 	DeliveryLongPoll
+	// DeliveryDuplex upgrades the exchange to a single framed full-duplex
+	// connection (POST /channel → 101): the agent pushes content and delta
+	// frames the instant a build lands, and the snippet sends action frames
+	// upstream on the same socket — no parked request, no separate action
+	// lane, one HMAC for the connection's lifetime. When the channel is
+	// refused or lost the snippet degrades to long-poll (and from there,
+	// under park denial, to interval pacing) and periodically re-attempts
+	// the upgrade — the full degradation ladder of README's delivery
+	// section.
+	DeliveryDuplex
 )
 
 // DefaultLongPollWait is the per-request hang a long-poll snippet asks for
@@ -194,11 +210,23 @@ type Snippet struct {
 	// rejoinNeeded is set when the agent terminated the session with a
 	// retryable close reason; Run re-joins and resyncs before polling on.
 	rejoinNeeded bool
-	cseq         int64
-	clientID     string
-	pollBackoff  *Backoff
-	pushBackoff  *Backoff
-	joinBackoff  *Backoff
+	// channel is the live duplex connection, nil when none is attached;
+	// dispatch routes actions onto it. chanSent is the retransmit buffer:
+	// actions written to the channel but not yet covered by a FrameActionAck,
+	// requeued for piggybacking when the channel dies so delivery stays
+	// at-least-once (the agent's replay filter makes it exactly-once).
+	channel  *httpwire.ChannelConn
+	chanSent []Action
+	// duplexUntil suspends upgrade attempts after a refusal or channel loss:
+	// until it passes, a DeliveryDuplex snippet runs the long-poll path, then
+	// re-attempts the upgrade — degradation and recovery on one clock.
+	duplexUntil   time.Time
+	cseq          int64
+	clientID      string
+	pollBackoff   *Backoff
+	pushBackoff   *Backoff
+	joinBackoff   *Backoff
+	duplexBackoff *Backoff
 }
 
 // NewSnippet returns a snippet for a participant browser joining agentURL.
@@ -323,9 +351,10 @@ func (s *Snippet) stampLocked(act *Action) {
 	act.CSeq = s.cseq
 }
 
-// backoffsLocked lazily builds the three retry schedules; separate
+// backoffsLocked lazily builds the four retry schedules; separate
 // instances, because a flapping push channel must not inflate poll retry
-// delays (and vice versa).
+// delays (and vice versa). The duplex schedule paces re-upgrade attempts
+// while the snippet rides its long-poll fallback.
 func (s *Snippet) backoffsLocked() (poll, push, join *Backoff) {
 	if s.pollBackoff == nil {
 		base := s.RetryBase
@@ -335,6 +364,7 @@ func (s *Snippet) backoffsLocked() (poll, push, join *Backoff) {
 		s.pollBackoff = newBackoff(base, s.RetryMax, s.RetryRand)
 		s.pushBackoff = newBackoff(base, s.RetryMax, s.RetryRand)
 		s.joinBackoff = newBackoff(base, s.RetryMax, s.RetryRand)
+		s.duplexBackoff = newBackoff(base, s.RetryMax, s.RetryRand)
 	}
 	return s.pollBackoff, s.pushBackoff, s.joinBackoff
 }
@@ -395,6 +425,12 @@ func (s *Snippet) Rejoin() error {
 	s.pushSuspended = false
 	s.rejoinNeeded = false
 	s.agentClosing = false
+	// A fresh identity deserves a fresh upgrade attempt: after a relocation
+	// the new agent has never refused this snippet a channel.
+	s.duplexUntil = time.Time{}
+	if s.duplexBackoff != nil {
+		s.duplexBackoff.Reset()
+	}
 	s.stats.Rejoins++
 	_, _, join := s.backoffsLocked()
 	join.Reset()
@@ -429,6 +465,9 @@ func (s *Snippet) dispatch(act Action) {
 	s.mu.Lock()
 	s.stampLocked(&act)
 	s.mu.Unlock()
+	if s.dispatchDuplex(act) {
+		return
+	}
 	if !s.pushEligible() {
 		s.QueueAction(act)
 		return
@@ -462,7 +501,7 @@ func (s *Snippet) dispatch(act Action) {
 // per backoff step (half-open): the probe's success re-opens the channel,
 // its failure doubles the pause.
 func (s *Snippet) pushEligible() bool {
-	if !s.ActionPush || s.Delivery != DeliveryLongPoll {
+	if !s.ActionPush || s.Delivery == DeliveryInterval {
 		return false
 	}
 	s.mu.Lock()
@@ -639,8 +678,10 @@ func parseRetryAfterMS(v string) time.Duration {
 }
 
 // longPollWait resolves the hang to request per poll: 0 in interval mode.
+// A duplex snippet asks for the hang too — its polls are the long-poll
+// fallback rung of the degradation ladder.
 func (s *Snippet) longPollWait() time.Duration {
-	if s.Delivery != DeliveryLongPoll {
+	if s.Delivery == DeliveryInterval {
 		return 0
 	}
 	if s.LongPollWait > 0 {
@@ -1179,6 +1220,25 @@ func (s *Snippet) Run(stop <-chan struct{}, errf func(error)) {
 				continue
 			}
 		}
+		if s.duplexEligible() {
+			err := s.DuplexOnce(stop)
+			if err != nil && errf != nil {
+				errf(err)
+			}
+			if r := CloseReasonOf(err); r != CloseNone && !r.Retryable() {
+				return // deliberate removal over the channel: session over
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// The channel ended (refused, lost, or closed with a reason);
+			// the next iteration rejoins if needed, or rides the long-poll
+			// fallback until duplexUntil re-admits an upgrade attempt.
+			resetTimer(timer, s.duplexDelay())
+			continue
+		}
 		_, err := s.PollOnce()
 		if err != nil && errf != nil {
 			errf(err)
@@ -1205,7 +1265,7 @@ func (s *Snippet) runDelay(err error, interval time.Duration) time.Duration {
 		d = poll.Next()
 	default:
 		poll.Reset()
-		if s.Delivery == DeliveryLongPoll && !s.parkDenied {
+		if s.Delivery != DeliveryInterval && !s.parkDenied {
 			d = 0 // hanging GET completed; re-park immediately
 		} else {
 			d = interval

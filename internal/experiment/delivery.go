@@ -18,6 +18,7 @@ package experiment
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"rcb/internal/core"
 	"rcb/internal/dom"
 	"rcb/internal/httpwire"
+	"rcb/internal/netsim"
 	"rcb/internal/sites"
 )
 
@@ -48,6 +50,12 @@ type DeliveryResult struct {
 	Polls      int64         `json:"polls"`
 	IdlePolls  int64         `json:"idle_polls"`
 	IdleWindow time.Duration `json:"idle_window_ns"`
+	// IdleBytes counts bytes in both directions on the measuring
+	// participant's link during the idle window — the wire cost of keeping
+	// the session alive: request/response headers per interval poll, a
+	// hanging request per max-hang, or a ping/pong frame pair per channel
+	// keep-alive.
+	IdleBytes int64 `json:"idle_bytes"`
 	// ActionPush records whether the acting participant used the
 	// fire-and-forget /action upstream; Actions counts measured actions and
 	// Mean/MaxActionStaleness the action-fired-to-mirror-applied latency.
@@ -108,8 +116,33 @@ func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOp
 		return nil, err
 	}
 
-	pb := browser.New("alice.lan", corpus.Network.Dialer("alice.lan"))
+	// The measuring participant's dialer is wrapped so every connection it
+	// opens tallies wire bytes; the idle window below reads the delta.
+	var cmu sync.Mutex
+	var conns []*netsim.CountingConn
+	dial := corpus.Network.Dialer("alice.lan")
+	pb := browser.New("alice.lan", func(addr string) (net.Conn, error) {
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		cc := netsim.NewCountingConn(c)
+		cmu.Lock()
+		conns = append(conns, cc)
+		cmu.Unlock()
+		return cc, nil
+	})
 	defer pb.Close()
+	wireBytes := func() int64 {
+		cmu.Lock()
+		defer cmu.Unlock()
+		var total int64
+		for _, cc := range conns {
+			in, out := cc.Totals()
+			total += in + out
+		}
+		return total
+	}
 	snip := core.NewSnippet(pb, "http://host.lan:3000", "")
 	snip.FetchObjects = false
 	snip.PollInterval = opt.Interval
@@ -146,7 +179,7 @@ func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOp
 		if err := mirror.Join(); err != nil {
 			return nil, err
 		}
-		if mode == core.DeliveryLongPoll {
+		if mode != core.DeliveryInterval {
 			parkTarget = 2
 		}
 	}
@@ -159,11 +192,14 @@ func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOp
 	}
 
 	label := "interval"
-	if mode == core.DeliveryLongPoll {
+	switch mode {
+	case core.DeliveryLongPoll:
 		label = "longpoll"
 		if opt.ActionPush {
 			label = "longpoll+push"
 		}
+	case core.DeliveryDuplex:
+		label = "duplex"
 	}
 	res := &DeliveryResult{
 		Mode:       label,
@@ -175,11 +211,20 @@ func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOp
 		Actions:    opt.Actions,
 	}
 	// settle waits for every long-poll participant to re-park (so the next
-	// event exercises the push path), or phase-shifts an interval-mode
-	// stimulus so the series samples the whole poll cycle uniformly.
+	// event exercises the push path), waits for every channel participant's
+	// upgrade to attach (so the next event exercises the frame fan-out), or
+	// phase-shifts an interval-mode stimulus so the series samples the whole
+	// poll cycle uniformly.
 	settle := func(i, total int) error {
-		if mode == core.DeliveryLongPoll {
+		switch mode {
+		case core.DeliveryLongPoll:
 			if err := waitCond(30*time.Second, func() bool { return agent.ParkedPolls() == parkTarget }); err != nil {
+				return err
+			}
+			time.Sleep(opt.Gap)
+			return nil
+		case core.DeliveryDuplex:
+			if err := waitCond(30*time.Second, func() bool { return agent.ChannelsOpen() == int64(parkTarget) }); err != nil {
 				return err
 			}
 			time.Sleep(opt.Gap)
@@ -242,8 +287,10 @@ func MeasureDelivery(spec sites.SiteSpec, mode core.DeliveryMode, opt DeliveryOp
 	}
 	if opt.Idle > 0 {
 		idleStart := snip.Stats().Polls
+		byteStart := wireBytes()
 		time.Sleep(opt.Idle)
 		res.IdlePolls = snip.Stats().Polls - idleStart
+		res.IdleBytes = wireBytes() - byteStart
 	}
 	res.Duration = time.Since(start)
 	res.Polls = snip.Stats().Polls

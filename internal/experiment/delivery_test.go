@@ -69,6 +69,54 @@ func TestMeasureDeliveryStaleness(t *testing.T) {
 	}
 }
 
+// TestMeasureDeliveryDuplex runs the persistent-channel arm of the ablation
+// at a compressed scale: frames deliver host changes and mirrored actions in
+// transfer time on one socket, and an idle session issues zero polling
+// requests.
+func TestMeasureDeliveryDuplex(t *testing.T) {
+	spec, ok := sites.SiteByName("google.com")
+	if !ok {
+		t.Fatal("no google.com site spec")
+	}
+	const interval = 150 * time.Millisecond
+	const idle = 450 * time.Millisecond
+
+	res, err := MeasureDelivery(spec, core.DeliveryDuplex, DeliveryOptions{
+		Interval: interval,
+		Changes:  3,
+		Gap:      30 * time.Millisecond,
+		Idle:     idle,
+		Actions:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("duplex: mean=%v max=%v action mean=%v polls=%d idle=%d idleBytes=%d",
+		res.MeanStaleness, res.MaxStaleness, res.MeanActionStaleness, res.Polls, res.IdlePolls, res.IdleBytes)
+
+	if res.Mode != "duplex" {
+		t.Errorf("duplex run labeled %q", res.Mode)
+	}
+	// Channel delivery is push in transfer time; it must land well under the
+	// interval-poll floor even on a loaded test machine.
+	if res.MeanStaleness >= interval/2 {
+		t.Errorf("duplex mean staleness %v is not under the interval/2 floor (%v)", res.MeanStaleness, interval/2)
+	}
+	if res.MeanActionStaleness >= interval/2 {
+		t.Errorf("duplex action staleness %v is not under the interval/2 floor (%v)", res.MeanActionStaleness, interval/2)
+	}
+	// An idle channel issues no polling requests at all; the only idle wire
+	// traffic is the ping/pong keep-alive, which at a 5s cadence usually
+	// contributes nothing to a 450ms window.
+	if res.IdlePolls != 0 {
+		t.Errorf("duplex mode issued %d idle polls, want 0", res.IdlePolls)
+	}
+	// Every change is one single-flight build fanned out as frames.
+	if res.Builds < int64(res.Changes) {
+		t.Errorf("duplex run recorded %d builds for %d changes", res.Builds, res.Changes)
+	}
+}
+
 // TestMeasureDeliveryActionStaleness runs the upstream half of the ablation
 // at a compressed scale: with the fire-and-forget /action push, an action
 // reaches the mirror in transfer time; over the piggyback path it waits for

@@ -11,7 +11,9 @@
 package httpwire
 
 import (
+	"bufio"
 	"fmt"
+	"net"
 	"sort"
 	"strings"
 )
@@ -148,6 +150,16 @@ type Response struct {
 	Proto      string
 	Header     Header
 	Body       []byte
+
+	// Hijack, when set by a handler, takes over the connection after this
+	// response is written: the server invokes it on the connection's own
+	// goroutine with the raw conn and the buffered reader (which may hold
+	// bytes the peer sent ahead), and stops speaking HTTP on it. When the
+	// callback returns the connection is closed. The connection stays
+	// registered with the server, so Server.Close severs hijacked
+	// connections exactly like parked ones. This is the upgrade mechanism
+	// the framed persistent channel rides on.
+	Hijack func(conn net.Conn, br *bufio.Reader)
 }
 
 // NewResponse builds a response with the given status and body, setting
@@ -166,6 +178,8 @@ func (r *Response) WantsClose() bool { return wantsClose(r.Proto, r.Header) }
 // StatusText returns the standard reason phrase for code.
 func StatusText(code int) string {
 	switch code {
+	case 101:
+		return "Switching Protocols"
 	case 200:
 		return "OK"
 	case 204:

@@ -194,6 +194,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logf("httpwire: write to %s: %v", conn.RemoteAddr(), err)
 			return
 		}
+		if resp.Hijack != nil {
+			// The handler takes over the connection (frame upgrade). Run the
+			// takeover on this goroutine: the deferred cleanup closes the
+			// conn when it returns, and the conn stays in s.conns so
+			// Server.Close severs a live channel like any other connection.
+			resp.Hijack(conn, br)
+			return
+		}
 		if req.WantsClose() || resp.WantsClose() {
 			return
 		}
