@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench fuzz chaos
+.PHONY: build test vet race bench fuzz chaos scale
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ bench: vet
 	$(GO) run ./cmd/rcb-bench -fanout -out BENCH_fanout.json
 	$(GO) run ./cmd/rcb-bench -delivery -out BENCH_delivery.json
 	$(GO) run ./cmd/rcb-bench -delta -site msn.com -out BENCH_delta.json
+	$(GO) run ./cmd/rcb-bench -scale -out BENCH_scale.json
 
 # Fault-injection harness: seeded netsim chaos scenarios (lossy/mobile
 # links, server restarts, link flaps, forced disconnects) asserting
@@ -36,6 +37,14 @@ bench: vet
 # guarantees a goroutine dump instead of a silent CI hang.
 chaos: vet
 	$(GO) test ./internal/core -race -count=1 -run 'TestChaos' -timeout 600s
+
+# Scale-out scenario lab: every family (flash-crowd joins, thundering-herd
+# wakes, disconnect/rejoin churn, long-haul lossy links, search co-browsing
+# roles, writer turns across a handover) at four-digit fleet size, race-
+# enabled. CI runs the -short small-N smoke of the same harness; SCENLAB_N
+# overrides the fleet size.
+scale: vet
+	SCENLAB_N=$${SCENLAB_N:-1000} $(GO) test ./internal/scenlab -race -count=1 -timeout 1800s -v
 
 # Brief mutation runs of the native fuzz targets (the checked-in corpora
 # under internal/dom/testdata/fuzz, internal/core/testdata/fuzz and

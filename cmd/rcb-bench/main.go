@@ -11,6 +11,7 @@
 //	rcb-bench -fanout -out BENCH_fanout.json       # agent serve-path scaling snapshot
 //	rcb-bench -delivery -out BENCH_delivery.json   # interval vs long-poll staleness snapshot
 //	rcb-bench -delta -out BENCH_delta.json         # delta vs full apply-path snapshot
+//	rcb-bench -scale -out BENCH_scale.json         # scenario-lab scale snapshot (SCENLAB_N sizes it)
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	fanout := flag.Bool("fanout", false, "benchmark the agent serve path at 16/64/256 participants")
 	delivery := flag.Bool("delivery", false, "measure interval-poll vs long-poll staleness and request counts")
 	delta := flag.Bool("delta", false, "benchmark the delta vs full apply path for a small edit")
+	scale := flag.Bool("scale", false, "run the scenario-lab scale matrix (SCENLAB_N participants per family)")
 	out := flag.String("out", "", "write fanout/delivery/delta results as JSON to this file (default stdout; -all defaults to BENCH_fanout.json)")
 	all := flag.Bool("all", false, "regenerate everything")
 	site := flag.String("site", "google.com", "site for -ablation and -fanout")
@@ -50,6 +52,12 @@ func main() {
 	}
 	if *delta {
 		if err := writeDelta(*site, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scale {
+		if err := writeScale(*out); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,97 @@
+package main
+
+// The -scale mode runs the internal/scenlab scenario families at
+// four-digit fleet size — flash-crowd joins, thundering-herd wakes,
+// disconnect/rejoin churn, long-haul lossy links, role-asymmetric search
+// co-browsing, and multi-writer turns across a live handover — and writes
+// a JSON snapshot (BENCH_scale.json) of the measured staleness and
+// bytes-per-participant numbers, so successive PRs can compare scheduler
+// and wire-cost changes against a recorded baseline. SCENLAB_N overrides
+// the fleet size, the same knob the test harness uses.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"rcb/internal/scenlab"
+)
+
+// ScaleSnapshot is the BENCH_scale.json document.
+type ScaleSnapshot struct {
+	Benchmark  string            `json:"benchmark"`
+	N          int               `json:"n"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    []*scenlab.Result `json:"results"`
+}
+
+// scaleRuns is the (family × profile) matrix the snapshot records — each
+// family over the profile(s) that stress it.
+var scaleRuns = []struct {
+	family  string
+	profile scenlab.Profile
+	rounds  int
+}{
+	{scenlab.FamilyFlashCrowd, scenlab.ProfileInstant, 3},
+	{scenlab.FamilyFlashCrowd, scenlab.ProfileWAN, 3},
+	{scenlab.FamilyThunderingHerd, scenlab.ProfileInstant, 3},
+	{scenlab.FamilyChurn, scenlab.ProfileLossy, 4},
+	{scenlab.FamilyLongHaul, scenlab.ProfileLossy, 5},
+	{scenlab.FamilyLongHaul, scenlab.ProfileMobile, 5},
+	{scenlab.FamilySearchRoles, scenlab.ProfileWAN, 4},
+	{scenlab.FamilyWriterTurns, scenlab.ProfileInstant, 4},
+}
+
+func writeScale(outPath string) error {
+	n := scenlab.EnvN(1000)
+	snap := ScaleSnapshot{
+		Benchmark:  "ScenarioLabScale",
+		N:          n,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	failed := 0
+	for _, run := range scaleRuns {
+		fmt.Fprintf(os.Stderr, "rcb-bench: scale %s/%s n=%d...\n", run.family, run.profile.Name, n)
+		res, err := scenlab.Run(scenlab.Config{
+			Family:    run.family,
+			Profile:   run.profile,
+			N:         n,
+			Sentinels: 4,
+			Rounds:    run.rounds,
+			Seed:      1,
+		})
+		if err != nil {
+			return fmt.Errorf("scale %s/%s: %w", run.family, run.profile.Name, err)
+		}
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "rcb-bench: scale %s/%s: VIOLATION: %s\n", run.family, run.profile.Name, v)
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "rcb-bench: scale %s/%s\tmean %dms\tmax %dms\tjoin %dB/lite\tround %dB/lite\t%.1fs\n",
+			run.family, run.profile.Name, res.MeanStalenessMS, res.MaxStalenessMS,
+			res.JoinBytesPerLite, res.RoundBytesPerLite, float64(res.TotalWallMS)/1000)
+		snap.Results = append(snap.Results, res)
+	}
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("scale: %d violations across the matrix", failed)
+	}
+	return nil
+}

@@ -1105,6 +1105,30 @@ func (a *Agent) OutboxDepth() int64 { return a.outboxDepth.Load() }
 // mode) no matter how many participants poll concurrently.
 func (a *Agent) ContentBuilds() int64 { return a.builds.Load() }
 
+// ParticipantCount reports how many participants are connected without
+// copying the roster — Participants allocates one record per participant,
+// which a scale harness polling the count at 4k participants cannot afford.
+func (a *Agent) ParticipantCount() int {
+	a.pmu.RLock()
+	defer a.pmu.RUnlock()
+	return len(a.participants)
+}
+
+// LatestDocTime reports the docTime of the newest prepared build across
+// modes (0 before any build). Scale harnesses use it to map a host mutation
+// to the docTime participants must reach, without re-rendering content.
+func (a *Agent) LatestDocTime() int64 {
+	a.cmu.Lock()
+	defer a.cmu.Unlock()
+	var latest int64
+	for _, prep := range a.prepared {
+		if prep != nil && prep.docTime > latest {
+			latest = prep.docTime
+		}
+	}
+	return latest
+}
+
 // contentForMode returns the prepared content for a mode, regenerating when
 // the host document changed. Returns nil when no page is loaded yet.
 //

@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,11 +41,25 @@ import (
 )
 
 // chaosScenarios is the full seeded-scenario count; -short keeps a smoke
-// slice so the CI chaos stage stays quick under -race.
-const chaosScenarios = 64
+// slice so the CI chaos stage stays quick under -race. CHAOS_SCENARIOS
+// overrides it, the way SCENLAB_N sizes the scale lab, so CI smoke and
+// local full runs share one harness.
+var chaosScenarios = envInt("CHAOS_SCENARIOS", 64)
 
 // chaosShards run in parallel; each shard owns its scenarios' networks.
-const chaosShards = 8
+// CHAOS_SHARDS overrides.
+var chaosShards = envInt("CHAOS_SHARDS", 8)
+
+// envInt reads a positive integer knob from the environment, falling back
+// to def when unset or unparsable.
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 // chaosLinks are the participant→agent link shapes scenarios draw from,
 // scaled so round trips stay in the low-millisecond range: an unshaped LAN,
@@ -77,7 +93,10 @@ func TestChaosFaultInjection(t *testing.T) {
 		scenarios = 16
 	}
 	perShard := scenarios / chaosShards
-	for shard := 0; shard < chaosShards; shard++ {
+	if perShard == 0 {
+		perShard = 1
+	}
+	for shard := 0; shard < chaosShards && shard*perShard < scenarios; shard++ {
 		shard := shard
 		t.Run(fmt.Sprintf("shard%d", shard), func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCloseFrameReasonParity pins the two spellings of the close-reason
+// protocol to each other: the Rcb-Close-Reason header a terminal HTTP
+// response carries and the form-encoded FrameClose payload a persistent
+// channel sends must round-trip to the same CloseReason, with the same
+// retryable/terminal classification and status code, for every reason —
+// so a snippet degrading from duplex to polling never changes its rejoin
+// decision mid-flight.
+func TestCloseFrameReasonParity(t *testing.T) {
+	reasons := []CloseReason{
+		CloseLeave, CloseKicked, CloseSessionFull, CloseOvercommitted,
+		CloseStaleReader, CloseAgentClosing, CloseMoved, CloseUnknown,
+	}
+	if len(reasons) != len(closeReasonNames) {
+		t.Fatalf("test covers %d reasons, wire map has %d — extend both", len(reasons), len(closeReasonNames))
+	}
+	for _, reason := range reasons {
+		reason := reason
+		t.Run(reason.String(), func(t *testing.T) {
+			// Header path: a terminal response built for this reason.
+			resp := closeResponse(reason)
+			hdr := resp.Header.Get(CloseReasonHeader)
+			if hdr == "" {
+				t.Fatalf("closeResponse(%v) carries no %s header", reason, CloseReasonHeader)
+			}
+			headerReason := ParseCloseReason(hdr)
+			if headerReason != reason {
+				t.Fatalf("header path: %q parses to %v, want %v", hdr, headerReason, reason)
+			}
+			if resp.StatusCode != reason.StatusCode() {
+				t.Errorf("header path status = %d, want %d", resp.StatusCode, reason.StatusCode())
+			}
+
+			// Frame path: the FrameClose payload for the same reason.
+			cs := decodeCloseSignal(encodeCloseSignal(closeSignal{reason: reason}))
+			if cs.reason != headerReason {
+				t.Errorf("frame path decodes to %v, header path to %v — the two wire "+
+					"spellings diverged", cs.reason, headerReason)
+			}
+			if cs.reason.Retryable() != reason.Retryable() {
+				t.Errorf("frame path retryable = %v, want %v", cs.reason.Retryable(), reason.Retryable())
+			}
+
+			// Retry and relocate hints survive the frame round trip, the
+			// way Rcb-Retry-After / Rcb-Relocate ride the header path.
+			full := decodeCloseSignal(encodeCloseSignal(closeSignal{
+				reason:   reason,
+				retry:    250 * time.Millisecond,
+				relocate: "other.lan:3001",
+			}))
+			if full.reason != reason {
+				t.Errorf("full frame decodes reason %v, want %v", full.reason, reason)
+			}
+			if full.retry != 250*time.Millisecond {
+				t.Errorf("frame retry hint = %v, want 250ms", full.retry)
+			}
+			if full.relocate != "other.lan:3001" {
+				t.Errorf("frame relocate hint = %q, want other.lan:3001", full.relocate)
+			}
+		})
+	}
+
+	// Discipline at the edges: a bare or gibberish close payload must read
+	// as UNKNOWN (still a reason, still retryable), never as "no reason" —
+	// the frame analogue of flagging a bare 4xx/5xx as a violation.
+	if got := decodeCloseSignal(nil).reason; got != CloseUnknown {
+		t.Errorf("empty FrameClose payload decodes to %v, want UNKNOWN", got)
+	}
+	if got := decodeCloseSignal([]byte("reason=NOT_A_REASON")).reason; got != CloseUnknown {
+		t.Errorf("unrecognized FrameClose reason decodes to %v, want UNKNOWN", got)
+	}
+	if got := ParseCloseReason(""); got != CloseNone {
+		t.Errorf("empty header parses to %v, want CloseNone (absent, not unknown)", got)
+	}
+}

@@ -26,17 +26,17 @@ type Network struct {
 	dialSeq int64
 	// conns records live dialed connections so a test can reset the flows
 	// to one address (a link flap that kills established TCP connections).
-	conns []dialedConn
+	// Bucketed by destination address — client conn → dialing host — so a
+	// dial inserts in O(1) and ResetConns touches only its own bucket; a
+	// conn that dies (reset or Close) removes itself through its onDead
+	// hook instead of waiting for the next full-table sweep. With
+	// thousands of live connections the old flat slice made every dial an
+	// O(n) prune under the network mutex.
+	conns map[string]map[*Conn]string
 	// partitions holds the one-directional cuts installed by Partition:
 	// a dial matching any rule fails as unreachable until Heal removes it.
 	// "" in either field is a wildcard.
 	partitions map[partitionRule]struct{}
-}
-
-type dialedConn struct {
-	fromHost string
-	toAddr   string
-	client   *Conn
 }
 
 // partitionRule is one directional cut: traffic from fromHost to toAddr
@@ -76,10 +76,16 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 	if _, exists := n.listeners[addr]; exists {
 		return nil, fmt.Errorf("netsim: address %s already in use", addr)
 	}
-	l := &Listener{network: n, addr: addr, incoming: make(chan *Conn, 16)}
+	l := &Listener{network: n, addr: addr, incoming: make(chan *Conn, listenBacklog)}
 	n.listeners[addr] = l
 	return l, nil
 }
+
+// listenBacklog is the accept-queue depth, sized like a kernel somaxconn so
+// a flash crowd of simultaneous dials (the scale lab joins thousands of
+// participants inside one debounce window) rides out scheduler hiccups in
+// the accept loop instead of being refused.
+const listenBacklog = 256
 
 // SetSeed makes every subsequent dial derive its fault randomness (loss,
 // jitter) deterministically from seed and the dial's ordinal, so a fault
@@ -119,20 +125,51 @@ func (n *Network) Dial(fromHost, toAddr string) (net.Conn, error) {
 	} else {
 		client, server = NewConnPair(profile, fromHost, toAddr)
 	}
+	// Register before delivering: the hook must be armed by the time any
+	// other goroutine can reset the pair, and a failed deliver cleans up
+	// through the same path (Close fires onDead exactly once).
+	client.onDead = func() { n.forget(toAddr, client) }
+	n.mu.Lock()
+	bucket := n.conns[toAddr]
+	if bucket == nil {
+		if n.conns == nil {
+			n.conns = make(map[string]map[*Conn]string)
+		}
+		bucket = make(map[*Conn]string)
+		n.conns[toAddr] = bucket
+	}
+	bucket[client] = fromHost
+	n.mu.Unlock()
 	if err := l.deliver(server); err != nil {
 		client.Close()
 		return nil, err
 	}
+	return client, nil
+}
+
+// forget drops a dead connection's record; the conn's death hook calls it
+// exactly once, from reset and Close alike.
+func (n *Network) forget(toAddr string, c *Conn) {
 	n.mu.Lock()
-	live := n.conns[:0]
-	for _, dc := range n.conns {
-		if !dc.client.dead.Load() {
-			live = append(live, dc)
+	if bucket := n.conns[toAddr]; bucket != nil {
+		delete(bucket, c)
+		if len(bucket) == 0 {
+			delete(n.conns, toAddr)
 		}
 	}
-	n.conns = append(live, dialedConn{fromHost: fromHost, toAddr: toAddr, client: client})
 	n.mu.Unlock()
-	return client, nil
+}
+
+// LiveConns reports how many dialed connections are currently established —
+// an observability hook for scale harnesses and the bookkeeping benchmark.
+func (n *Network) LiveConns() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, bucket := range n.conns {
+		total += len(bucket)
+	}
+	return total
 }
 
 func (n *Network) partitionedLocked(fromHost, toAddr string) bool {
@@ -157,19 +194,22 @@ func (n *Network) Partition(fromHost, toAddr string) int {
 		n.partitions = make(map[partitionRule]struct{})
 	}
 	n.partitions[rule] = struct{}{}
+	// A concrete toAddr cuts one bucket; only the wildcard walks them all.
 	var victims []*Conn
-	live := n.conns[:0]
-	for _, dc := range n.conns {
-		if dc.client.dead.Load() {
-			continue
+	collect := func(toAddr string, bucket map[*Conn]string) {
+		for c, fromHost := range bucket {
+			if !c.dead.Load() && rule.matches(fromHost, toAddr) {
+				victims = append(victims, c)
+			}
 		}
-		if rule.matches(dc.fromHost, dc.toAddr) {
-			victims = append(victims, dc.client)
-			continue
-		}
-		live = append(live, dc)
 	}
-	n.conns = live
+	if toAddr != "" {
+		collect(toAddr, n.conns[toAddr])
+	} else {
+		for addr, bucket := range n.conns {
+			collect(addr, bucket)
+		}
+	}
 	n.mu.Unlock()
 	for _, c := range victims {
 		c.reset()
@@ -193,18 +233,11 @@ func (n *Network) Heal(fromHost, toAddr string) {
 func (n *Network) ResetConns(toAddr string) int {
 	n.mu.Lock()
 	var victims []*Conn
-	live := n.conns[:0]
-	for _, dc := range n.conns {
-		if dc.client.dead.Load() {
-			continue
+	for c := range n.conns[toAddr] {
+		if !c.dead.Load() {
+			victims = append(victims, c)
 		}
-		if dc.toAddr == toAddr {
-			victims = append(victims, dc.client)
-			continue
-		}
-		live = append(live, dc)
 	}
-	n.conns = live
 	n.mu.Unlock()
 	for _, c := range victims {
 		c.reset()

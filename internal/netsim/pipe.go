@@ -268,6 +268,21 @@ type Conn struct {
 	peer      *Conn       // other endpoint, for propagating resets
 	closeOnce sync.Once
 	dead      atomic.Bool // closed or reset; lets the network prune records
+	// onDead, when set, runs exactly once when the conn dies (reset or
+	// Close) — the Network registers its deregistration here so dead conns
+	// leave the dial table immediately instead of on the next full scan.
+	onDead   func()
+	deadOnce sync.Once
+}
+
+// markDead flips the dead flag and fires the death hook once.
+func (c *Conn) markDead() {
+	c.dead.Store(true)
+	c.deadOnce.Do(func() {
+		if c.onDead != nil {
+			c.onDead()
+		}
+	})
 }
 
 // simAddr implements net.Addr for virtual hosts.
@@ -318,9 +333,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 // reset tears the connection down abruptly from both ends, like a TCP RST:
 // no EOF-after-drain grace, queued data is dropped.
 func (c *Conn) reset() {
-	c.dead.Store(true)
+	c.markDead()
 	if c.peer != nil {
-		c.peer.dead.Store(true)
+		c.peer.markDead()
 	}
 	c.send.closeRead()
 	c.recv.closeRead()
@@ -330,7 +345,7 @@ func (c *Conn) reset() {
 // blocked reads.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
-		c.dead.Store(true)
+		c.markDead()
 		c.send.closeWrite()
 		c.recv.closeRead()
 	})

@@ -1,0 +1,279 @@
+package scenlab
+
+// The six scenario families. Each follows the same skeleton — build the
+// fleet, drive the family's stress shape through measured rounds, then run
+// the closing audit (exactly-once, timestamp barrier, byte-identical
+// sentinels, byte budgets) — and differs only in what it throws at the
+// agent in between.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rcb/internal/core"
+	"rcb/internal/httpwire"
+)
+
+// Generous wall-clock ceilings: the lab runs under -race in CI, where
+// everything is several times slower. Budgets that matter are the
+// per-profile staleness/byte ones; these only bound hangs.
+const (
+	joinDeadline     = 120 * time.Second
+	roundDeadline    = 60 * time.Second
+	convergeDeadline = 60 * time.Second
+)
+
+// runFlashCrowd joins the whole fleet inside one debounce window — every
+// lite dials at once — and requires the join storm to share builds: the
+// single-flight guard must serve N initial syncs from O(1) renders.
+func (f *fleet) runFlashCrowd() error {
+	if err := f.spawnSentinels(); err != nil {
+		return err
+	}
+	f.spawnLites(0)
+	if err := f.waitAllSynced(joinDeadline); err != nil {
+		return err
+	}
+	// The entire crowd synced off one unchanged document: the build cache
+	// must have rendered it a handful of times at most (one per delivery
+	// mode variant), not once per participant.
+	if f.joinBuilds > 4 {
+		f.violate("flash-crowd join of %d lites cost %d content builds, want <= 4 (single-flight regressed)",
+			len(f.lites), f.joinBuilds)
+	}
+	for r := 0; r < f.cfg.Rounds; r++ {
+		name := fmt.Sprintf("flash-%d", r)
+		if err := f.measuredRound(name, func() error { return f.hostMutate(name) }, roundDeadline); err != nil {
+			return err
+		}
+	}
+	if err := f.converge(convergeDeadline); err != nil {
+		return err
+	}
+	f.checkByteBudgets()
+	return nil
+}
+
+// runThunderingHerd parks the entire fleet on long polls, lands one
+// mutation per round, and requires the debounced hub to wake everyone in
+// at most a couple of fan-out rounds backed by O(1) content builds.
+func (f *fleet) runThunderingHerd() error {
+	f.allLongPoll = true
+	f.liteWait = 8 * time.Second
+	if err := f.spawnSentinels(); err != nil {
+		return err
+	}
+	f.spawnLites(0)
+	if err := f.waitAllSynced(joinDeadline); err != nil {
+		return err
+	}
+	ag := f.agent()
+	for r := 0; r < f.cfg.Rounds; r++ {
+		// Everyone must be parked before the bump, or the wake isn't a
+		// herd wake.
+		limit := time.Now().Add(roundDeadline)
+		for ag.ParkedPolls() < len(f.lites) {
+			if time.Now().After(limit) {
+				return fmt.Errorf("herd round %d: only %d/%d polls parked", r, ag.ParkedPolls(), len(f.lites))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		fan0, builds0 := ag.WakeFanouts(), ag.ContentBuilds()
+		name := fmt.Sprintf("herd-%d", r)
+		if err := f.measuredRound(name, func() error { return f.hostMutate(name) }, roundDeadline); err != nil {
+			return err
+		}
+		if d := ag.WakeFanouts() - fan0; d < 1 || d > 3 {
+			f.violate("herd round %d: %d parked polls woke in %d fan-out rounds, want 1..3", r, len(f.lites), d)
+		}
+		if d := ag.ContentBuilds() - builds0; d > 2 {
+			f.violate("herd round %d: mass wake cost %d content builds, want <= 2 (single-flight regressed)", r, d)
+		}
+	}
+	if err := f.converge(convergeDeadline); err != nil {
+		return err
+	}
+	f.checkByteBudgets()
+	return nil
+}
+
+// runChurn cycles disconnect/rejoin waves: each wave force-ejects a random
+// slice of the fleet with a retryable close reason, flaps every
+// established flow on alternate waves, fires replay-stamped actions from
+// random lites, and still requires every round to converge and every
+// action to apply exactly once across the rejoins.
+func (f *fleet) runChurn() error {
+	rng := rand.New(rand.NewSource(f.cfg.Seed*0x51ED2701 + 17))
+	if err := f.spawnSentinels(); err != nil {
+		return err
+	}
+	f.spawnLites(0)
+	if err := f.waitAllSynced(joinDeadline); err != nil {
+		return err
+	}
+	reasons := []core.CloseReason{core.CloseOvercommitted, core.CloseStaleReader}
+	for wave := 0; wave < f.cfg.Rounds; wave++ {
+		// Eject ~15% of the fleet with a retryable reason; their parked
+		// polls complete with the close and the lites rejoin.
+		ag := f.agent()
+		churned := 0
+		for _, l := range f.lites {
+			if rng.Float64() < 0.15 {
+				if pid := l.currentPID(); pid != "" {
+					ag.DisconnectWith(pid, reasons[wave%len(reasons)])
+					churned++
+				}
+			}
+		}
+		if wave%2 == 1 {
+			// Flap: reset every established flow to the agent, lites and
+			// sentinels alike.
+			f.net.ResetConns(f.addr())
+		}
+		for i := 0; i < 16; i++ {
+			f.fireToken(f.lites[rng.Intn(len(f.lites))])
+		}
+		name := fmt.Sprintf("churn-%d", wave)
+		if err := f.measuredRound(name, func() error { return f.hostMutate(name) }, roundDeadline); err != nil {
+			return fmt.Errorf("%w (wave ejected %d)", err, churned)
+		}
+	}
+	if err := f.converge(convergeDeadline); err != nil {
+		return err
+	}
+	f.checkByteBudgets()
+	return nil
+}
+
+// runLongHaul holds the session open over the seeded lossy/mobile link for
+// many paced rounds with background interaction — the long-lived-session
+// shape where resets, retries, and delta recovery all have to keep
+// netting out to convergence.
+func (f *fleet) runLongHaul() error {
+	rng := rand.New(rand.NewSource(f.cfg.Seed*0x2545F491 + 5))
+	if err := f.spawnSentinels(); err != nil {
+		return err
+	}
+	f.spawnLites(500 * time.Millisecond)
+	if err := f.waitAllSynced(joinDeadline); err != nil {
+		return err
+	}
+	for r := 0; r < f.cfg.Rounds; r++ {
+		for i := 0; i < 8; i++ {
+			f.fireToken(f.lites[rng.Intn(len(f.lites))])
+		}
+		name := fmt.Sprintf("haul-%d", r)
+		if err := f.measuredRound(name, func() error { return f.hostMutate(name) }, roundDeadline); err != nil {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := f.converge(convergeDeadline); err != nil {
+		return err
+	}
+	f.checkByteBudgets()
+	return nil
+}
+
+// runSearchRoles is role-asymmetric search co-browsing: one sentinel is
+// the driver typing into the shared search box (its forminput IS the
+// measured mutation), the lite fleet reads along, and the driver role
+// rotates between sentinels every couple of rounds.
+func (f *fleet) runSearchRoles() error {
+	if f.cfg.Sentinels < 2 {
+		f.cfg.Sentinels = 2
+	}
+	if err := f.spawnSentinels(); err != nil {
+		return err
+	}
+	f.spawnLites(0)
+	if err := f.waitAllSynced(joinDeadline); err != nil {
+		return err
+	}
+	for r := 0; r < f.cfg.Rounds; r++ {
+		driver := f.sentinels[(r/2)%len(f.sentinels)]
+		token := fmt.Sprintf("q-%s-%d-%d", f.cfg.Profile.Name, driver.idx, r)
+		name := fmt.Sprintf("search-%d", r)
+		err := f.measuredRound(name, func() error {
+			return f.fireSentinelInput(driver, token)
+		}, roundDeadline)
+		if err != nil {
+			return err
+		}
+	}
+	if err := f.converge(convergeDeadline); err != nil {
+		return err
+	}
+	f.checkByteBudgets()
+	return nil
+}
+
+// runWriterTurns rotates form-input turns between several writer
+// sentinels, then hands the whole session over to a standby agent midway
+// and keeps taking turns — the fleet must follow the MOVED relocation and
+// every action must still apply exactly once across the move.
+func (f *fleet) runWriterTurns() error {
+	if f.cfg.Sentinels < 2 {
+		f.cfg.Sentinels = 2
+	}
+	if err := f.spawnSentinels(); err != nil {
+		return err
+	}
+	f.spawnLites(0)
+	if err := f.waitAllSynced(joinDeadline); err != nil {
+		return err
+	}
+	var err error
+	f.standby, err = f.startAgent("host2.lan", handoverAddr)
+	if err != nil {
+		return fmt.Errorf("standby agent: %w", err)
+	}
+	f.standby.agent.AllowHandover = true
+	handoverAfter := f.cfg.Rounds / 2
+	for r := 0; r < f.cfg.Rounds; r++ {
+		if r == handoverAfter {
+			if err := f.handover(); err != nil {
+				return err
+			}
+		}
+		writer := f.sentinels[r%len(f.sentinels)]
+		token := fmt.Sprintf("w-%s-%d-%d", f.cfg.Profile.Name, writer.idx, r)
+		name := fmt.Sprintf("turn-%d", r)
+		err := f.measuredRound(name, func() error {
+			return f.fireSentinelInput(writer, token)
+		}, roundDeadline)
+		if err != nil {
+			return err
+		}
+	}
+	if got := f.agent().ParticipantCount(); got < f.cfg.N {
+		f.violate("post-handover agent holds %d participants, want >= %d", got, f.cfg.N)
+	}
+	if err := f.converge(convergeDeadline); err != nil {
+		return err
+	}
+	f.checkByteBudgets()
+	return nil
+}
+
+// handover moves the live session from the current agent to the standby:
+// quiesce, state transfer, fence — after which every request at the old
+// address answers MOVED with a relocate hint the fleet follows.
+func (f *fleet) handover() error {
+	from := f.cur.Load()
+	client := httpwire.NewClient(f.net.Dialer(from.hostName))
+	defer client.Close()
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = from.agent.HandoverTo(client, f.standby.addr); err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("handover: %w", err)
+	}
+	f.cur.Store(f.standby)
+	return nil
+}
