@@ -22,7 +22,7 @@ race: vet
 # (interval vs long-poll staleness) and BENCH_delta.json (incremental vs
 # full apply for a small edit).
 bench: vet
-	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice|LongPollFanout|DuplexFanout|DeltaApply' -benchmem .
+	$(GO) test -run '^$$' -bench 'FanoutScale|AblationFanout|ConcurrentPoll|MirrorSplice|LongPollFanout|DuplexFanout|DeltaApply|DeltaRing' -benchmem .
 	$(GO) run ./cmd/rcb-bench -fanout -out BENCH_fanout.json
 	$(GO) run ./cmd/rcb-bench -delivery -out BENCH_delivery.json
 	$(GO) run ./cmd/rcb-bench -delta -site msn.com -out BENCH_delta.json

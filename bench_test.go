@@ -383,6 +383,62 @@ func BenchmarkFanoutScaleDelta(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaRing measures the serve path for a participant lagging
+// behind the current build. The delta-base ring retains the last
+// DefaultDeltaRingDepth replaced builds, so a poller up to ring-depth
+// versions behind still rides the cached delta path — allocs/op within a
+// small factor of the one-behind case — while one build further it falls
+// off the ring onto the full snapshot. wirebytes/op is the payload each
+// poll carries.
+func BenchmarkDeltaRing(b *testing.B) {
+	spec, _ := sites.SiteByName("msn.com")
+	const depth = core.DefaultDeltaRingDepth
+	for _, lag := range []int{1, depth, depth + 1} {
+		name := fmt.Sprintf("lag-%d", lag)
+		if lag > depth {
+			name = fmt.Sprintf("lag-%d-offring", lag)
+		}
+		b.Run(name, func(b *testing.B) {
+			w := newBenchWorld(b, spec)
+			pollers, err := benchutil.RegisterTrackedPollers(w.agent, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := benchutil.ServeAllTracked(w.agent, pollers); err != nil {
+				b.Fatal(err)
+			}
+			current, laggard := pollers[0], pollers[1]
+			base := laggard.DocTime()
+			// Advance the session lag builds with only the current poller
+			// keeping up; each build rotates the replaced one into the ring.
+			for tick := 1; tick <= lag; tick++ {
+				if err := benchutil.BumpDoc(w.host, tick); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := current.Serve(w.agent); err != nil {
+					b.Fatal(err)
+				}
+			}
+			resp, err := laggard.ServeAt(w.agent, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if isDelta := core.MessageIsDelta(resp.Body); isDelta != (lag <= depth) {
+				b.Fatalf("lag %d (ring depth %d): delta=%v", lag, depth, isDelta)
+			}
+			wire := len(resp.Body)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := laggard.ServeAt(w.agent, base); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(wire), "wirebytes/op")
+		})
+	}
+}
+
 // BenchmarkDeltaApply isolates the participant-side apply path for one
 // small host edit: "full" unmarshals the whole snapshot and re-parses the
 // changed region (what every content change cost before deltas), "delta"

@@ -3,8 +3,10 @@ package main
 // The -delta mode benchmarks the incremental deltaContent path against the
 // full-snapshot path for one small host edit and writes a JSON snapshot
 // (BENCH_delta.json) so successive PRs can compare: the isolated
-// participant-side apply (unmarshal + install) in both modes, and the
-// bytes each mode puts on the wire.
+// participant-side apply (unmarshal + install) in both modes, the bytes
+// each mode puts on the wire, and the serve path for participants lagging
+// 1..ring-depth builds behind the current one (the delta-base ring rows —
+// base_lag says how far behind, ring_depth the configured retention).
 
 import (
 	"encoding/json"
@@ -20,13 +22,15 @@ import (
 	"rcb/internal/sites"
 )
 
-// DeltaResult is one apply-path measurement.
+// DeltaResult is one apply-path or lagging-serve measurement.
 type DeltaResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	WireBytes   int     `json:"wire_bytes"`
+	RingDepth   int     `json:"ring_depth,omitempty"`
+	BaseLag     int     `json:"base_lag,omitempty"`
 }
 
 // DeltaSnapshot is the BENCH_delta.json document.
@@ -133,13 +137,31 @@ func writeDelta(site, outPath string) error {
 			},
 		},
 	}
+
+	// Ring rows: the serve path at increasing base lag, same scenario as
+	// BenchmarkDeltaRing. Lag ≤ ring depth rides the cached delta; one
+	// further falls off the ring onto the full snapshot.
+	const depth = core.DefaultDeltaRingDepth
+	for _, lag := range []int{1, depth, depth + 1} {
+		r, err := ringServeResult(corpus, spec, lag)
+		if err != nil {
+			return err
+		}
+		snap.Results = append(snap.Results, r)
+	}
+
 	for _, r := range snap.Results {
 		fmt.Fprintf(os.Stderr, "rcb-bench: %s\t%.0f ns/op\t%d allocs/op\t%d B/op\t%d wire bytes\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.WireBytes)
 	}
 
 	var w io.Writer = os.Stdout
+	return encodeDelta(snap, outPath, w)
+}
+
+func encodeDelta(snap DeltaSnapshot, outPath string, w io.Writer) error {
 	var f *os.File
+	var err error
 	if outPath != "" {
 		if f, err = os.Create(outPath); err != nil {
 			return err
@@ -155,4 +177,68 @@ func writeDelta(site, outPath string) error {
 		}
 	}
 	return err
+}
+
+// ringServeResult measures one lagging participant's poll against a fresh
+// session advanced lag builds past its ack, reporting the shared-cache serve
+// cost and the bytes that poll puts on the wire.
+func ringServeResult(corpus *sites.Corpus, spec sites.SiteSpec, lag int) (DeltaResult, error) {
+	const depth = core.DefaultDeltaRingDepth
+	host := browser.New("ringhost.lan", corpus.Network.Dialer("ringhost.lan"))
+	defer host.Close()
+	agent := core.NewAgent(host, "ringhost.lan:3000")
+	if _, err := host.Navigate("http://" + spec.Host() + "/"); err != nil {
+		return DeltaResult{}, err
+	}
+	pollers, err := benchutil.RegisterTrackedPollers(agent, 2)
+	if err != nil {
+		return DeltaResult{}, err
+	}
+	if err := benchutil.ServeAllTracked(agent, pollers); err != nil {
+		return DeltaResult{}, err
+	}
+	current, laggard := pollers[0], pollers[1]
+	base := laggard.DocTime()
+	for tick := 1; tick <= lag; tick++ {
+		if err := benchutil.BumpDoc(host, tick); err != nil {
+			return DeltaResult{}, err
+		}
+		if _, err := current.Serve(agent); err != nil {
+			return DeltaResult{}, err
+		}
+	}
+	resp, err := laggard.ServeAt(agent, base)
+	if err != nil {
+		return DeltaResult{}, err
+	}
+	if isDelta := core.MessageIsDelta(resp.Body); isDelta != (lag <= depth) {
+		return DeltaResult{}, fmt.Errorf("ring lag %d (depth %d): delta=%v", lag, depth, isDelta)
+	}
+	name := fmt.Sprintf("serve/ring-lag-%d", lag)
+	if lag > depth {
+		name += "-offring"
+	}
+	var failure error
+	bench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := laggard.ServeAt(agent, base); err != nil {
+				failure = err
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return DeltaResult{}, failure
+	}
+	return DeltaResult{
+		Name:        name,
+		NsPerOp:     float64(bench.NsPerOp()),
+		AllocsPerOp: bench.AllocsPerOp(),
+		BytesPerOp:  bench.AllocedBytesPerOp(),
+		WireBytes:   len(resp.Body),
+		RingDepth:   depth,
+		BaseLag:     lag,
+	}, nil
 }

@@ -68,6 +68,26 @@ func (p *TrackedPoller) Serve(agent *core.Agent) (*httpwire.Response, error) {
 	return resp, nil
 }
 
+// DocTime reports the docTime this poller last acknowledged.
+func (p *TrackedPoller) DocTime() int64 { return p.ts }
+
+// ServeAt sends one poll acknowledging a fixed ts (with the delta
+// advertisement) without advancing the tracker — a participant pinned N
+// builds behind, the shape the delta-ring benchmark measures.
+func (p *TrackedPoller) ServeAt(agent *core.Agent, ts int64) (*httpwire.Response, error) {
+	p.buf = append(p.buf[:0], "ts="...)
+	p.buf = strconv.AppendInt(p.buf, ts, 10)
+	if ts > 0 {
+		p.buf = append(p.buf, "&delta=1"...)
+	}
+	p.req.Body = p.buf
+	resp := agent.ServeWire(p.req)
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("poll returned %d", resp.StatusCode)
+	}
+	return resp, nil
+}
+
 // docTimeOpen is the marker docTimeOf scans for, hoisted so the scan stays
 // allocation-free inside timed benchmark loops.
 var docTimeOpen = []byte("<docTime>")

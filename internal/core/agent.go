@@ -95,7 +95,9 @@ type Agent struct {
 	// WakeDebounce coalesces document-change wake-ups of parked long-polls:
 	// a burst of host mutations inside the window wakes the fleet at most
 	// twice (once at the leading edge, once after the window with the latest
-	// version) instead of once per mutation. Zero disables coalescing. Set
+	// version) instead of once per mutation. The trailing wake also
+	// precomputes the deltas the woken fleet is about to request (one diff
+	// per distinct acked base) before fan-out. Zero disables coalescing. Set
 	// before serving traffic.
 	WakeDebounce time.Duration
 	// DisableDelta turns off incremental deltaContent responses: every
@@ -103,6 +105,12 @@ type Agent struct {
 	// specifies. Deltas are also skipped per poll unless the request opts in
 	// with a delta=1 field, so foreign interval-mode clients never see them.
 	DisableDelta bool
+	// DeltaRingDepth sets how many replaced builds each mode retains as
+	// delta bases (the delta-base ring). A participant acknowledging any
+	// retained build's docTime is served an incremental delta; older acks
+	// fall back to the full snapshot. Zero means DefaultDeltaRingDepth. Set
+	// before serving traffic.
+	DeltaRingDepth int
 	// DisableChannel refuses persistent-channel upgrades (POST /channel):
 	// every upgrade attempt gets the retry-carrying OVERCOMMITTED refusal and
 	// participants stay on the long-poll/interval tiers. An operator knob for
@@ -173,17 +181,19 @@ type Agent struct {
 	// cmu guards the prepared-content cache and the single-flight guard:
 	// of N concurrent polls that observe a new document version, exactly
 	// one runs the Figure 3 pipeline; the rest block on its result. The
-	// delta cache rides the same lock: prevPrepared holds the build the
-	// current one replaced (the only valid delta base), delta holds the
-	// encoded script for the current (base → target) pair — or a recorded
-	// "not worth it" — and deltaInflight single-flights its computation so
-	// N concurrent delta-eligible polls cost one dom.Diff.
+	// delta cache rides the same lock: prevRing holds the last few replaced
+	// builds per mode, newest first (every member is a valid delta base, so
+	// a participant that skipped versions stays on the delta path), delta
+	// holds the encoded script per (base → current) pair — or a recorded
+	// "not worth it" — and deltaInflight single-flights each pair's
+	// computation so N concurrent delta-eligible polls on one pair cost one
+	// dom.Diff.
 	cmu           sync.Mutex
 	prepared      map[bool]*PreparedContent
 	inflight      map[bool]*contentCall
-	prevPrepared  map[bool]*PreparedContent
-	delta         map[bool]*deltaEntry
-	deltaInflight map[bool]*deltaCall
+	prevRing      map[bool][]*PreparedContent
+	delta         map[bool]map[int64]*deltaEntry
+	deltaInflight map[bool]map[int64]*deltaCall
 
 	// amu guards the moderation queue and action sequencing.
 	amu       sync.Mutex
@@ -263,6 +273,20 @@ type Agent struct {
 // maxBuildHist bounds the per-mode build history; MaxAckLag beyond this is
 // effectively "never stale by lag".
 const maxBuildHist = 64
+
+// DefaultDeltaRingDepth is the delta-base ring depth when
+// Agent.DeltaRingDepth is zero: deep enough that a lossy participant a few
+// versions behind still rides the delta path, shallow enough that the
+// retained builds stay a small multiple of one snapshot.
+const DefaultDeltaRingDepth = 4
+
+// deltaRingDepth resolves the effective ring depth.
+func (a *Agent) deltaRingDepth() int {
+	if a.DeltaRingDepth > 0 {
+		return a.DeltaRingDepth
+	}
+	return DefaultDeltaRingDepth
+}
 
 // deltaEntry records the delta decision for one (base → target) pair: d is
 // nil when a delta exists but was not worth sending (oversized, or the
@@ -397,15 +421,19 @@ func NewAgent(b *browser.Browser, addr string) *Agent {
 		tokens:        make(map[string]string),
 		prepared:      make(map[bool]*PreparedContent),
 		inflight:      make(map[bool]*contentCall),
-		prevPrepared:  make(map[bool]*PreparedContent),
-		delta:         make(map[bool]*deltaEntry),
-		deltaInflight: make(map[bool]*deltaCall),
+		prevRing:      make(map[bool][]*PreparedContent),
+		delta:         make(map[bool]map[int64]*deltaEntry),
+		deltaInflight: make(map[bool]map[int64]*deltaCall),
 		closedReasons: make(map[string]CloseReason),
 		dedup:         make(map[string]*dedupState),
 		buildHist:     make(map[bool][]int64),
 		hub:           newDeliveryHub(),
 		channels:      make(map[string]*agentChannel),
 	}
+	// The trailing edge of a debounced wake runs on its own timer goroutine
+	// with the whole woken fleet in hand — the one place the deltas the
+	// fleet is about to ask for can be computed before fan-out.
+	a.hub.preWake = a.warmWakeDeltas
 	b.OnChange(func() {
 		a.hub.notifyAllDebounced(a.WakeDebounce)
 		// Channel writers coalesce through their cap-1 notify slots, so the
@@ -845,7 +873,10 @@ func (a *Agent) pollSetup(req *httpwire.Request) (*participantState, int64, time
 // when the payload is reusable as-is (no per-participant splice) — the poll
 // path sends it without allocating; the channel path only needs body. The
 // drained outbox actions ride along so a failed channel write can requeue
-// them instead of dropping mirror traffic on the floor.
+// them instead of dropping mirror traffic on the floor. A recipient that
+// opted into deltas is served the shared deltaContent script for whichever
+// delta-base ring member it acknowledges — one encoded response per (base,
+// target) pair, fanned to every poller and channel on that pair.
 type deliverOut struct {
 	resp    *httpwire.Response
 	body    []byte
@@ -860,10 +891,10 @@ type deliverOut struct {
 // message bytes are shared across participants; pending mirror actions are
 // spliced in without re-rendering the document payload, and the no-action
 // fast path reuses the prepared response object as-is. A recipient that
-// opted into deltas and acknowledges the previous build's docTime gets the
-// shared deltaContent script instead of the full snapshot; every fallback
-// case (first delivery, base mismatch, oversized or unavailable delta)
-// degrades to the snapshot. hasNew is false exactly when there is nothing
+// opted into deltas and acknowledges the docTime of any build still in the
+// delta-base ring gets the shared deltaContent script instead of the full
+// snapshot; every fallback case (first delivery, base off the ring,
+// oversized or unavailable delta) degrades to the snapshot. hasNew is false exactly when there is nothing
 // to send: the state a long-poll parks on and a channel writer sleeps on.
 func (a *Agent) deliver(p *participantState, ts int64, deltaOK bool) (deliverOut, error) {
 	p.mu.Lock()
@@ -889,7 +920,7 @@ func (a *Agent) deliver(p *participantState, ts int64, deltaOK bool) (deliverOut
 	if prep != nil && prep.docTime > ts {
 		// ts == 0 is a first delivery: the participant has no base to patch.
 		// The shed ladder's first step turns deltas off — the full snapshot
-		// costs bandwidth but releases the retained delta-base build.
+		// costs bandwidth but releases the retained delta-base ring.
 		if deltaOK && !a.DisableDelta && ts > 0 && a.ShedLevel() < ShedNoDelta {
 			if d := a.deltaFor(mode, ts, prep); d != nil {
 				a.deltasServed.Add(1)
@@ -1161,13 +1192,33 @@ func (a *Agent) contentForMode(cacheMode bool) (*PreparedContent, error) {
 	var lagFloor int64
 	if err == nil {
 		if cur := a.prepared[cacheMode]; cur == nil || prep.version >= cur.version {
-			if cur != nil && prep.version > cur.version && !a.DisableDelta {
-				// The replaced build becomes the one valid delta base; any
-				// cached delta script targeted the old pair and is stale.
-				// With deltas off nothing consumes the base, so don't
-				// double the retained payload.
-				a.prevPrepared[cacheMode] = cur
-				delete(a.delta, cacheMode)
+			if cur != nil && prep.version > cur.version {
+				if !a.DisableDelta && a.ShedLevel() < ShedNoDelta {
+					// The replaced build joins the front of the delta-base
+					// ring (newest first), capped at the configured depth;
+					// every cached delta script targeted an old pair and is
+					// stale. With deltas off nothing consumes the bases, so
+					// don't multiply the retained payload.
+					depth := a.deltaRingDepth()
+					ring := a.prevRing[cacheMode]
+					grown := make([]*PreparedContent, 0, min(len(ring)+1, depth))
+					grown = append(grown, cur)
+					for _, b := range ring {
+						if len(grown) >= depth {
+							break
+						}
+						grown = append(grown, b)
+					}
+					a.prevRing[cacheMode] = grown
+					delete(a.delta, cacheMode)
+				} else if len(a.prevRing[cacheMode]) > 0 || len(a.delta[cacheMode]) > 0 {
+					// Deltas are off — statically or because the shed ladder
+					// climbed to ShedNoDelta. Rotating would hoard the very
+					// memory the ladder rung exists to free, so release the
+					// ring instead and keep it empty until deltas return.
+					delete(a.prevRing, cacheMode)
+					delete(a.delta, cacheMode)
+				}
 			}
 			a.prepared[cacheMode] = prep
 			// Record the build for the stale-reader ruler and compute the
@@ -1265,42 +1316,142 @@ func (a *Agent) DeltasServed() int64 { return a.deltasServed.Load() }
 
 // deltaFor returns the shared delta response for a poll acknowledging base,
 // or nil when the poll must fall back to the full snapshot. A delta exists
-// only between the previous build and the current one; its computation is
-// single-flight, and a "not worth it" outcome (oversized script, top-level
-// region change) is cached so the diff runs once per version pair.
+// between any delta-base ring member and the current build; each (base,
+// target) pair's computation is single-flight, and a "not worth it" outcome
+// (oversized script, top-level region change) is cached so the diff runs
+// once per pair no matter how many mixed-base polls race on it.
 func (a *Agent) deltaFor(cacheMode bool, base int64, prep *PreparedContent) *preparedDelta {
 	a.cmu.Lock()
-	prev := a.prevPrepared[cacheMode]
-	if prev == nil || prev.docTime != base || prep.content == nil || prev.content == nil {
-		a.cmu.Unlock()
-		return nil // base mismatch: the participant skipped a version
+	var prev *PreparedContent
+	for _, cand := range a.prevRing[cacheMode] {
+		if cand.docTime == base {
+			prev = cand
+			break
+		}
 	}
-	if e := a.delta[cacheMode]; e != nil && e.base == base && e.target == prep.docTime {
+	if prev == nil || prep.content == nil || prev.content == nil {
+		a.cmu.Unlock()
+		return nil // base not retained: fell off the ring, or agent restarted
+	}
+	if e := a.delta[cacheMode][base]; e != nil && e.target == prep.docTime {
 		a.cmu.Unlock()
 		return e.d
 	}
-	if call := a.deltaInflight[cacheMode]; call != nil && call.base == base && call.target == prep.docTime {
+	if call := a.deltaInflight[cacheMode][base]; call != nil && call.target == prep.docTime {
 		a.cmu.Unlock()
 		<-call.done
 		return call.d
 	}
 	call := &deltaCall{base: base, target: prep.docTime, done: make(chan struct{})}
-	a.deltaInflight[cacheMode] = call
+	if a.deltaInflight[cacheMode] == nil {
+		a.deltaInflight[cacheMode] = make(map[int64]*deltaCall)
+	}
+	a.deltaInflight[cacheMode][base] = call
 	a.cmu.Unlock()
 
 	d := a.buildDelta(prev, prep)
 	a.cmu.Lock()
 	// Store only while still the registered call: a version rotation during
-	// the diff may have started a newer pair's computation, and a stale
-	// (base, target) entry must not clobber its freshly cached result.
-	if a.deltaInflight[cacheMode] == call {
-		a.delta[cacheMode] = &deltaEntry{base: call.base, target: call.target, d: d}
-		delete(a.deltaInflight, cacheMode)
+	// the diff may have started a newer pair's computation on this base, and
+	// a stale (base, target) entry must not clobber its fresh cached result.
+	if a.deltaInflight[cacheMode][base] == call {
+		if a.delta[cacheMode] == nil {
+			a.delta[cacheMode] = make(map[int64]*deltaEntry)
+		}
+		a.delta[cacheMode][base] = &deltaEntry{base: call.base, target: call.target, d: d}
+		delete(a.deltaInflight[cacheMode], base)
 	}
 	a.cmu.Unlock()
 	call.d = d
 	close(call.done)
 	return d
+}
+
+// DeltaBasesRetained reports how many replaced builds are currently held as
+// delta bases across all modes — the memory the ShedNoDelta rung releases.
+func (a *Agent) DeltaBasesRetained() int {
+	a.cmu.Lock()
+	defer a.cmu.Unlock()
+	n := 0
+	for _, ring := range a.prevRing {
+		n += len(ring)
+	}
+	return n
+}
+
+// releaseDeltaState drops the delta-base ring, the cached delta scripts, and
+// any in-flight registrations. Called when the shed ladder climbs to
+// ShedNoDelta: deliver stops serving deltas at that rung, so the retained
+// builds are pure memory pressure. In-flight diffs finish and hand their
+// waiters a result, but the cleared registration keeps them from re-caching.
+func (a *Agent) releaseDeltaState() {
+	a.cmu.Lock()
+	clear(a.prevRing)
+	clear(a.delta)
+	clear(a.deltaInflight)
+	a.cmu.Unlock()
+}
+
+// warmWakeDeltas is the delivery hub's preWake hook: it runs on the trailing
+// edge of a debounced wake, after the parked waiters are collected but
+// before fan-out. It gathers the distinct (mode, acked docTime) pairs of the
+// woken waiters and of every attached channel, and computes those deltas
+// once — so a thousand-strong fleet hits a warm cache instead of racing all
+// its polls on the first diff of each pair.
+func (a *Agent) warmWakeDeltas(woken []*pollWaiter) {
+	if a.DisableDelta || a.ShedLevel() >= ShedNoDelta {
+		return
+	}
+	a.smu.RLock()
+	defer a.smu.RUnlock()
+	if a.relocatedTo != "" {
+		return
+	}
+	type pair struct {
+		mode bool
+		base int64
+	}
+	want := make(map[pair]struct{})
+	for _, w := range woken {
+		if !w.deltaOK || w.ts <= 0 {
+			continue
+		}
+		if p := a.participant(w.pid); p != nil {
+			p.mu.Lock()
+			mode := p.CacheMode
+			p.mu.Unlock()
+			want[pair{mode, w.ts}] = struct{}{}
+		}
+	}
+	a.chmu.Lock()
+	chans := make([]*agentChannel, 0, len(a.channels))
+	for _, ch := range a.channels {
+		if ch.deltaOK {
+			chans = append(chans, ch)
+		}
+	}
+	a.chmu.Unlock()
+	for _, ch := range chans {
+		ch.mu.Lock()
+		base := ch.base
+		ch.mu.Unlock()
+		if base <= 0 {
+			continue
+		}
+		if p := a.participant(ch.pid); p != nil {
+			p.mu.Lock()
+			mode := p.CacheMode
+			p.mu.Unlock()
+			want[pair{mode, base}] = struct{}{}
+		}
+	}
+	for k := range want {
+		prep, err := a.contentForMode(k.mode)
+		if err != nil || prep == nil || prep.docTime <= k.base {
+			continue
+		}
+		a.deltaFor(k.mode, k.base, prep)
+	}
 }
 
 // deltaRegionTags are the top-level regions a delta can patch.

@@ -7,7 +7,9 @@ package core
 // sink: a build landing fans the shared prepared/delta bytes out to every
 // attached channel the moment it exists — no park/wake counters, no
 // per-update request parse, no per-update HMAC (the connection was
-// authenticated once, at the upgrade). Upstream, the same socket carries
+// authenticated once, at the upgrade). Each channel's acked base picks its
+// delta from the multi-version ring, so channels at different bases share
+// the per-(base, target) encoded bytes rather than assuming one base. Upstream, the same socket carries
 // action frames and acks, retiring the separate /action lane while the
 // channel is up.
 //

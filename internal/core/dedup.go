@@ -90,37 +90,53 @@ func (a *Agent) evictDedupLocked(now time.Time) {
 }
 
 // freshActions filters out actions the agent has already accepted from the
-// same client, returning the survivors in order. Safe for concurrent use.
+// same client, returning the survivors in order. The caller's slice is never
+// mutated: when every action is fresh it is returned as-is, and the first
+// dropped duplicate switches to a private copy (copy-on-first-drop) — a
+// caller retaining the decoded actions for retransmit sees them unchanged.
+// Safe for concurrent use.
 func (a *Agent) freshActions(actions []Action) []Action {
-	out := actions[:0]
+	out := actions
+	copied := false
 	a.dmu.Lock()
 	defer a.dmu.Unlock()
-	for _, act := range actions {
-		if act.CID == "" {
-			out = append(out, act)
+	for i, act := range actions {
+		if a.freshLocked(act) {
+			if copied {
+				out = append(out, act)
+			}
 			continue
 		}
-		st := a.dedup[act.CID]
-		if st == nil {
-			if a.dedup == nil {
-				a.dedup = make(map[string]*dedupState)
-			}
-			if len(a.dedup) >= maxDedupClients {
-				a.evictDedupLocked(a.dedupClock())
-			}
-			st = &dedupState{recent: make(map[int64]struct{})}
-			a.dedup[act.CID] = st
-		}
-		a.dedupTick++
-		st.touch = a.dedupTick
-		st.seen = a.dedupClock()
-		if st.fresh(act.CSeq) {
-			out = append(out, act)
-		} else {
-			a.duplicateActions.Add(1)
+		a.duplicateActions.Add(1)
+		if !copied {
+			out = append(make([]Action, 0, len(actions)-1), actions[:i]...)
+			copied = true
 		}
 	}
 	return out
+}
+
+// freshLocked stamps one action through the replay filter and reports
+// whether it is new. Caller holds a.dmu.
+func (a *Agent) freshLocked(act Action) bool {
+	if act.CID == "" {
+		return true
+	}
+	st := a.dedup[act.CID]
+	if st == nil {
+		if a.dedup == nil {
+			a.dedup = make(map[string]*dedupState)
+		}
+		if len(a.dedup) >= maxDedupClients {
+			a.evictDedupLocked(a.dedupClock())
+		}
+		st = &dedupState{recent: make(map[int64]struct{})}
+		a.dedup[act.CID] = st
+	}
+	a.dedupTick++
+	st.touch = a.dedupTick
+	st.seen = a.dedupClock()
+	return st.fresh(act.CSeq)
 }
 
 // DedupClients reports how many clients currently hold replay-filter state.

@@ -77,6 +77,13 @@ type deliveryHub struct {
 	wakeArmed bool
 	wakeTimer *time.Timer
 	fanouts   int64
+
+	// preWake, when set, runs between collecting a trailing wake's waiters
+	// and fanning them out — the window where the deltas the woken fleet is
+	// about to request can be precomputed once. Installed at construction,
+	// never mutated afterwards, so reads need no lock. It runs on the wake
+	// timer's own goroutine, off every request path.
+	preWake func(woken []*pollWaiter)
 }
 
 func newDeliveryHub() *deliveryHub {
@@ -197,7 +204,9 @@ func (h *deliveryHub) notifyAllDebounced(debounce time.Duration) {
 	wakeWaiters(woken)
 }
 
-// trailingWake flushes the coalesced tail of a mutation burst.
+// trailingWake flushes the coalesced tail of a mutation burst. Running on
+// the wake timer's goroutine — not a host-mutation or request path — it is
+// the one place the fleet's deltas can be precomputed before fan-out.
 func (h *deliveryHub) trailingWake() {
 	h.mu.Lock()
 	h.wakeArmed = false
@@ -208,6 +217,9 @@ func (h *deliveryHub) trailingWake() {
 	h.lastWake = time.Now()
 	woken := h.collectAllLocked()
 	h.mu.Unlock()
+	if h.preWake != nil && len(woken) > 0 {
+		h.preWake(woken)
+	}
 	wakeWaiters(woken)
 }
 

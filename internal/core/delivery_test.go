@@ -394,6 +394,56 @@ func TestHubDebounceCoalescesBurst(t *testing.T) {
 	h.close()
 }
 
+// TestHubPreWakeRunsOnTrailingWake pins the precompute seam: the hub's
+// preWake hook fires on the trailing edge of a debounced wake, sees exactly
+// the waiters about to be woken, and completes before any of them is
+// fulfilled — the ordering warmWakeDeltas relies on to warm the delta cache
+// ahead of the fleet.
+func TestHubPreWakeRunsOnTrailingWake(t *testing.T) {
+	const window = 100 * time.Millisecond
+	h := newDeliveryHub()
+	var mu sync.Mutex
+	var sawWoken int
+	var preBeforeFulfill bool
+	h.preWake = func(woken []*pollWaiter) {
+		mu.Lock()
+		sawWoken += len(woken)
+		mu.Unlock()
+	}
+
+	// Leading edge with nobody parked: no waiters, hook must not fire.
+	h.notifyAllDebounced(window)
+
+	done := make(chan struct{})
+	w := &pollWaiter{pid: "p1", ts: 7, deltaOK: true, fulfill: func(*pollReply) {
+		mu.Lock()
+		preBeforeFulfill = sawWoken > 0
+		mu.Unlock()
+		close(done)
+	}}
+	if parked, _ := h.park(w, h.snapshot("p1"), time.Minute); !parked {
+		t.Fatal("waiter refused to park")
+	}
+
+	// Inside the window: this notification arms the trailing wake, which
+	// must run the hook over the collected waiter before fulfilling it.
+	h.notifyAllDebounced(window)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("trailing wake never fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if sawWoken != 1 {
+		t.Fatalf("preWake saw %d waiters, want exactly the 1 parked", sawWoken)
+	}
+	if !preBeforeFulfill {
+		t.Fatal("waiter was fulfilled before preWake ran; precompute would race the fleet")
+	}
+	h.close()
+}
+
 // TestBurstWakeDebounceEndToEnd drives the same property over the real
 // stack: parked long-poll participants, a burst of host mutations, at most
 // two fan-outs, and every participant converging on the final version.

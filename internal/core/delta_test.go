@@ -186,8 +186,9 @@ func TestDeltaWireBytesAreSmall(t *testing.T) {
 	}
 }
 
-// TestDeltaBaseMismatchFallsBackToFull: a participant that skipped a
-// version (its base is two builds old) must get the full snapshot.
+// TestDeltaBaseMismatchFallsBackToFull: a participant whose base has fallen
+// off the delta-base ring (more than ring-depth builds behind) must get the
+// full snapshot.
 func TestDeltaBaseMismatchFallsBackToFull(t *testing.T) {
 	w := newWorld(t, nil)
 	w.hostNavigate(t, "http://"+sites.Table1[1].Host()+"/")
@@ -196,26 +197,67 @@ func TestDeltaBaseMismatchFallsBackToFull(t *testing.T) {
 	alice.PollOnce()
 	bob2.PollOnce()
 
-	// Two edits, with only bob2 keeping up.
-	hostEdit(t, w, 1)
-	bob2.PollOnce()
-	hostEdit(t, w, 2)
-	bob2.PollOnce() // bob2 is delta-eligible both times
+	// One more edit than the ring retains, with only bob2 keeping up.
+	for i := 1; i <= DefaultDeltaRingDepth+1; i++ {
+		hostEdit(t, w, i)
+		if _, err := bob2.PollOnce(); err != nil { // bob2 is delta-eligible each time
+			t.Fatal(err)
+		}
+	}
 
-	// alice's base is now two versions old: full snapshot, not a delta.
+	// alice's base is now beyond the ring: full snapshot, not a delta.
 	served := w.agent.DeltasServed()
 	updated, err := alice.PollOnce()
 	if err != nil || !updated {
 		t.Fatalf("stale poll: updated=%v err=%v", updated, err)
 	}
 	if got := w.agent.DeltasServed(); got != served {
-		t.Fatal("stale-base poll was served a delta")
+		t.Fatal("off-ring-base poll was served a delta")
 	}
 	if alice.Stats().DeltaPolls != 0 {
 		t.Fatal("snippet recorded a delta poll")
 	}
 	if got, want := participantBodyHTML(t, alice), hostBodyHTML(t, w, false); got != want {
 		t.Fatal("stale participant did not converge on the snapshot")
+	}
+}
+
+// TestDeltaRingServesOlderBases: a participant up to ring-depth builds
+// behind is still served an incremental delta against its retained base —
+// the multi-version ring's whole point — and converges byte-identically.
+func TestDeltaRingServesOlderBases(t *testing.T) {
+	w := newWorld(t, nil)
+	w.hostNavigate(t, "http://"+sites.Table1[1].Host()+"/")
+	alice := w.join(t, "alice.lan")
+	bob2 := w.join(t, "bob2.lan")
+	alice.PollOnce()
+	bob2.PollOnce()
+
+	// Ring-depth edits, with only bob2 keeping up: alice's base is now the
+	// oldest build the ring still retains.
+	for i := 1; i <= DefaultDeltaRingDepth; i++ {
+		hostEdit(t, w, i)
+		if _, err := bob2.PollOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.agent.DeltaBasesRetained(); got != DefaultDeltaRingDepth {
+		t.Fatalf("DeltaBasesRetained = %d, want %d", got, DefaultDeltaRingDepth)
+	}
+
+	served := w.agent.DeltasServed()
+	updated, err := alice.PollOnce()
+	if err != nil || !updated {
+		t.Fatalf("lagging poll: updated=%v err=%v", updated, err)
+	}
+	if got := w.agent.DeltasServed(); got != served+1 {
+		t.Fatalf("DeltasServed advanced by %d, want 1 (ring base should serve a delta)", got-served)
+	}
+	if alice.Stats().DeltaPolls != 1 {
+		t.Fatalf("snippet DeltaPolls = %d, want 1", alice.Stats().DeltaPolls)
+	}
+	if got, want := participantBodyHTML(t, alice), hostBodyHTML(t, w, false); got != want {
+		t.Fatal("lagging participant diverged after ring delta")
 	}
 }
 
@@ -553,10 +595,10 @@ func TestDeltaSurvivesUnnormalizedTextNodes(t *testing.T) {
 }
 
 // TestConcurrentMixedBaseDeltaSingleFlight is the -race guard for the delta
-// cache: half the participants acknowledge the delta-eligible base, half a
-// stale one; all poll concurrently. Exactly one diff runs for the (base,
-// target) pair, delta-eligible polls get deltaContent, stale ones the full
-// snapshot.
+// cache: half the participants acknowledge the newest replaced build, half
+// the one before it — both retained in the delta-base ring — and all poll
+// concurrently. Exactly one diff runs per distinct (base, target) pair, and
+// every poll rides a delta against its own base.
 func TestConcurrentMixedBaseDeltaSingleFlight(t *testing.T) {
 	w := newWorld(t, nil)
 	w.hostNavigate(t, "http://"+sites.Table1[1].Host()+"/")
@@ -569,8 +611,9 @@ func TestConcurrentMixedBaseDeltaSingleFlight(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Fresh participants (ts of build 1). Advance the eligible half to the
-	// delta base (build 2), leaving the other half one version behind.
+	// Fresh participants (ts of build 1). Advance half to build 2, leaving
+	// the other half at build 1 — after the next edit both bases live in
+	// the ring, at different depths.
 	hostEdit(t, w, 1)
 	for i := 0; i < n/2; i++ {
 		if _, err := snippets[i].PollOnce(); err != nil {
@@ -603,20 +646,15 @@ func TestConcurrentMixedBaseDeltaSingleFlight(t *testing.T) {
 			t.Fatalf("poll %d: %v", i, err)
 		}
 	}
-	if got := w.agent.DiffBuilds() - diffs0; got != 1 {
-		t.Errorf("DiffBuilds advanced by %d for one (base, target) pair, want 1", got)
+	if got := w.agent.DiffBuilds() - diffs0; got != 2 {
+		t.Errorf("DiffBuilds advanced by %d for two distinct (base, target) pairs, want 2", got)
 	}
-	if got := w.agent.DeltasServed() - served0; got != int64(n/2) {
-		t.Errorf("DeltasServed advanced by %d, want %d", got, n/2)
+	if got := w.agent.DeltasServed() - served0; got != int64(n) {
+		t.Errorf("DeltasServed advanced by %d, want %d", got, n)
 	}
-	for i := 0; i < n/2; i++ {
+	for i := 0; i < n; i++ {
 		if got := snippets[i].Stats().DeltaPolls - deltaPolls0[i]; got != 1 {
-			t.Errorf("eligible snippet %d delta polls advanced by %d, want 1", i, got)
-		}
-	}
-	for i := n / 2; i < n; i++ {
-		if got := snippets[i].Stats().DeltaPolls - deltaPolls0[i]; got != 0 {
-			t.Errorf("stale snippet %d delta polls advanced by %d, want 0", i, got)
+			t.Errorf("snippet %d delta polls advanced by %d, want 1", i, got)
 		}
 	}
 	want := hostBodyHTML(t, w, false)

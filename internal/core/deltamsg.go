@@ -1,14 +1,15 @@
 package core
 
 // The deltaContent wire message: the incremental sibling of Figure 4's
-// newContent. When a participant acknowledges the docTime the agent's
-// previous build carried, the agent may answer with an edit script computed
-// by dom.Diff between the two built trees instead of the full payload —
-// O(change) bytes and an O(change) participant-side apply, the delta
-// discipline CRDT systems use (PAPERS.md: Collabs). The message is versioned
-// against the acknowledged base and the agent falls back to the full
-// snapshot on a first poll, a base mismatch, a top-level region change, or
-// when the delta would not actually be smaller.
+// newContent. When a participant acknowledges the docTime of any build the
+// agent still retains in its delta-base ring, the agent may answer with an
+// edit script computed by dom.Diff between that build's tree and the
+// current one instead of the full payload — O(change) bytes and an
+// O(change) participant-side apply, the delta discipline CRDT systems use
+// (PAPERS.md: Collabs). The message is versioned against the acknowledged
+// base and the agent falls back to the full snapshot on a first poll, a
+// base that fell off the ring, a top-level region change, or when the
+// delta would not actually be smaller.
 //
 // Shape (same envelope conventions as newContent — every variable payload
 // rides escape()d inside CDATA):

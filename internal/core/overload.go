@@ -15,9 +15,11 @@ import (
 // explicit, observable steps instead of slowing down for everyone:
 //
 //	ShedNone        full service
-//	ShedNoDelta     deltas off — every content poll gets the full snapshot
-//	                (deltas save bandwidth but hold an extra prepared build
-//	                and the diff cache in memory)
+//	ShedNoDelta     deltas off — every content poll gets the full snapshot;
+//	                the delta-base ring and the per-pair diff cache are
+//	                dropped on the climb and rotation skips until descent
+//	                (deltas save bandwidth but hold up to ring-depth
+//	                replaced builds and their diff scripts in memory)
 //	ShedInterval    long-polls answer immediately with a server-assigned
 //	                retry-after — parked-poll memory is bounded and the
 //	                fleet degrades to the paper's interval polling
@@ -259,6 +261,12 @@ func (a *Agent) EvaluateLoad() ShedLevel {
 		lvl++
 		a.shed.level.Store(int32(lvl))
 		a.shed.ups.Add(1)
+		if lvl == ShedNoDelta {
+			// The rung's whole point is freeing memory: drop the delta-base
+			// ring and diff cache now rather than waiting for the next
+			// rotation (which skips while this rung holds).
+			a.releaseDeltaState()
+		}
 		a.logf("rcb-agent: shed ladder up to %s (parked=%d outbox=%d heap=%d)", lvl, parked, outbox, heap)
 	case !high && low && lvl > ShedNone:
 		lvl--

@@ -176,6 +176,100 @@ func TestShedNoDeltaServesFullSnapshots(t *testing.T) {
 	}
 }
 
+// TestShedReleasesDeltaBase is the regression test for the ladder's memory
+// promise: the ShedNoDelta rung exists to free the retained delta bases, so
+// climbing onto it must actually drop the ring, further builds under shed
+// must not repopulate it, and descent must resume rotation.
+func TestShedReleasesDeltaBase(t *testing.T) {
+	var heap atomic.Uint64
+	w := newWorld(t, func(a *Agent) {
+		a.Shed = ShedWatermarks{HeapHigh: 1000, HeapLow: 500}
+		a.ReadHeap = func() uint64 { return heap.Load() }
+	})
+	w.hostNavigate(t, "http://"+sites.Table1[1].Host()+"/")
+	s := w.join(t, "shedring.lan")
+	if _, err := s.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	mutateBody(t, w)
+	if _, err := s.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.agent.DeltaBasesRetained(); got == 0 {
+		t.Fatal("test setup: no delta base retained before shedding")
+	}
+
+	// Climb to ShedNoDelta: the ring must be released immediately, not on
+	// some future rotation.
+	heap.Store(5000)
+	if lvl := w.agent.EvaluateLoad(); lvl != ShedNoDelta {
+		t.Fatalf("ladder at %v, want no-delta", lvl)
+	}
+	if got := w.agent.DeltaBasesRetained(); got != 0 {
+		t.Fatalf("DeltaBasesRetained = %d after climbing to no-delta, want 0", got)
+	}
+
+	// Builds while the rung holds must not quietly re-hoard bases.
+	mutateBody(t, w)
+	if _, err := s.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.agent.DeltaBasesRetained(); got != 0 {
+		t.Fatalf("DeltaBasesRetained = %d after a build under no-delta shedding, want 0", got)
+	}
+
+	// Descent: rotation resumes and the next replaced build is retained.
+	heap.Store(100)
+	if lvl := w.agent.EvaluateLoad(); lvl != ShedNone {
+		t.Fatalf("ladder at %v after recovery, want none", lvl)
+	}
+	mutateBody(t, w)
+	if _, err := s.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.agent.DeltaBasesRetained(); got != 1 {
+		t.Fatalf("DeltaBasesRetained = %d after recovery build, want 1", got)
+	}
+}
+
+// TestFreshActionsDoesNotMutateCaller is the aliasing regression test: the
+// replay filter must leave the caller's slice exactly as decoded even when
+// it drops duplicates, so a retransmit/requeue path that retains the slice
+// never sees it silently compacted.
+func TestFreshActionsDoesNotMutateCaller(t *testing.T) {
+	w := newWorld(t, nil)
+	in := []Action{
+		{Kind: ActionMouseMove, X: 1, CID: "c", CSeq: 1},
+		{Kind: ActionMouseMove, X: 2, CID: "c", CSeq: 2},
+		{Kind: ActionMouseMove, X: 3, CID: "c", CSeq: 3},
+	}
+	if got := len(w.agent.freshActions(in)); got != 3 {
+		t.Fatalf("first pass survivors = %d, want 3", got)
+	}
+	// Replay 1 and 3 around a fresh 4: the duplicates are dropped, and the
+	// caller's slice must still hold its own elements afterwards.
+	replay := []Action{
+		{Kind: ActionMouseMove, X: 1, CID: "c", CSeq: 1},
+		{Kind: ActionMouseMove, X: 4, CID: "c", CSeq: 4},
+		{Kind: ActionMouseMove, X: 3, CID: "c", CSeq: 3},
+	}
+	want := append([]Action(nil), replay...)
+	out := w.agent.freshActions(replay)
+	if len(out) != 1 || out[0].CSeq != 4 {
+		t.Fatalf("survivors = %+v, want just CSeq 4", out)
+	}
+	for i := range want {
+		if replay[i].CSeq != want[i].CSeq || replay[i].X != want[i].X {
+			t.Fatalf("caller's slice mutated at %d: %+v, want %+v", i, replay[i], want[i])
+		}
+	}
+	// All-fresh input is returned as-is without a copy — the fast path.
+	fresh := []Action{{Kind: ActionMouseMove, X: 5, CID: "c", CSeq: 5}}
+	if out := w.agent.freshActions(fresh); &out[0] != &fresh[0] {
+		t.Fatal("all-fresh input was copied")
+	}
+}
+
 // TestMaxParticipantsCap checks plain admission control: the cap refuses the
 // N+1th join with SESSION_FULL and admits again after a leave.
 func TestMaxParticipantsCap(t *testing.T) {

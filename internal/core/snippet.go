@@ -849,11 +849,13 @@ func (s *Snippet) PollOnce() (updated bool, err error) {
 
 // handleDeltaResponse applies an incremental deltaContent answer: mirror
 // actions are dispatched as usual, then the patch scripts are applied in
-// place — no payload re-parse. Any failure (codec error, base mismatch,
-// patch that does not resolve) abandons the delta and resets the
-// acknowledged timestamp to zero, so the very next poll fetches a full
-// snapshot and rebuilds from scratch: the participant can render stale for
-// one round trip but can never stay diverged.
+// place — no payload re-parse. The base check guards the multi-version
+// ring's contract: whichever retained build the agent diffed against must
+// be exactly the docTime this snippet acknowledged. Any failure (codec
+// error, base mismatch, patch that does not resolve) abandons the delta and
+// resets the acknowledged timestamp to zero, so the very next poll fetches
+// a full snapshot and rebuilds from scratch: the participant can render
+// stale for one round trip but can never stay diverged.
 func (s *Snippet) handleDeltaResponse(body []byte, ts int64) (bool, error) {
 	d, err := UnmarshalDelta(body)
 	if err != nil {

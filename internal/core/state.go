@@ -88,16 +88,26 @@ type objectSnapshot struct {
 	URL  string `json:"url"`
 }
 
-// preparedSnapshot carries one mode's prepared build (and its delta base,
-// when one is retained) so a restored agent answers the next poll with the
-// very bytes the original would have sent — same docTime, no spurious
-// resync storm on rejoin.
+// preparedSnapshot carries one mode's prepared build (and its delta-base
+// ring, when bases are retained) so a restored agent answers the next poll
+// with the very bytes the original would have sent — same docTime, no
+// spurious resync storm on rejoin. The newest ring entry rides in the
+// legacy Prev fields so a schema-1 reader from before the ring still
+// restores its single base; Ring carries the rest, oldest last, and is
+// simply absent from pre-ring snapshots (additive schema, no version bump).
 type preparedSnapshot struct {
-	CacheMode   bool   `json:"cacheMode"`
-	DocTime     int64  `json:"docTime"`
-	XML         string `json:"xml"`
-	PrevDocTime int64  `json:"prevDocTime,omitempty"`
-	PrevXML     string `json:"prevXML,omitempty"`
+	CacheMode   bool           `json:"cacheMode"`
+	DocTime     int64          `json:"docTime"`
+	XML         string         `json:"xml"`
+	PrevDocTime int64          `json:"prevDocTime,omitempty"`
+	PrevXML     string         `json:"prevXML,omitempty"`
+	Ring        []ringSnapshot `json:"ring,omitempty"`
+}
+
+// ringSnapshot is one retained delta base beyond the newest.
+type ringSnapshot struct {
+	DocTime int64  `json:"docTime"`
+	XML     string `json:"xml"`
 }
 
 // ExportState serializes the full session under the serve/state barrier:
@@ -220,9 +230,12 @@ func (a *Agent) exportLocked() ([]byte, error) {
 			continue
 		}
 		ps := preparedSnapshot{CacheMode: mode, DocTime: prep.docTime, XML: string(prep.xml)}
-		if prev := a.prevPrepared[mode]; prev != nil {
-			ps.PrevDocTime = prev.docTime
-			ps.PrevXML = string(prev.xml)
+		if ring := a.prevRing[mode]; len(ring) > 0 {
+			ps.PrevDocTime = ring[0].docTime
+			ps.PrevXML = string(ring[0].xml)
+			for _, b := range ring[1:] {
+				ps.Ring = append(ps.Ring, ringSnapshot{DocTime: b.docTime, XML: string(b.xml)})
+			}
 		}
 		st.Prepared = append(st.Prepared, ps)
 	}
@@ -333,8 +346,8 @@ func (a *Agent) ImportState(data []byte) error {
 
 	a.cmu.Lock()
 	a.prepared = make(map[bool]*PreparedContent)
-	a.prevPrepared = make(map[bool]*PreparedContent)
-	a.delta = make(map[bool]*deltaEntry)
+	a.prevRing = make(map[bool][]*PreparedContent)
+	a.delta = make(map[bool]map[int64]*deltaEntry)
 	a.buildHist = make(map[bool][]int64)
 	for _, ps := range st.Prepared {
 		if ps.CacheMode && st.Addr != a.Addr {
@@ -342,12 +355,22 @@ func (a *Agent) ImportState(data []byte) error {
 			// agent's address; at a new address the next poll must rebuild.
 			continue
 		}
-		var hist []int64
+		// Rebuild the ring newest-first (Prev fields, then Ring), assigning
+		// descending synthetic versions below the current build's.
+		var ring []*PreparedContent
 		if ps.PrevXML != "" {
-			a.prevPrepared[ps.CacheMode] = importedPrepared(version-1, ps.PrevDocTime, ps.PrevXML)
-			hist = append(hist, ps.PrevDocTime)
+			ring = append(ring, importedPrepared(version-1, ps.PrevDocTime, ps.PrevXML))
+			for _, rs := range ps.Ring {
+				ring = append(ring, importedPrepared(version-1-int64(len(ring)), rs.DocTime, rs.XML))
+			}
+			a.prevRing[ps.CacheMode] = ring
 		}
 		a.prepared[ps.CacheMode] = importedPrepared(version, ps.DocTime, ps.XML)
+		// buildHist runs oldest first: reversed ring docTimes, then current.
+		hist := make([]int64, 0, len(ring)+1)
+		for i := len(ring) - 1; i >= 0; i-- {
+			hist = append(hist, ring[i].docTime)
+		}
 		hist = append(hist, ps.DocTime)
 		a.buildHist[ps.CacheMode] = hist
 	}

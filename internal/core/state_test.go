@@ -6,6 +6,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -347,5 +348,133 @@ func TestDedupTableBoundedUnderChurn(t *testing.T) {
 	}
 	if n := a.DedupClients(); n > maxDedupClients {
 		t.Fatalf("final dedup table %d clients, cap %d", n, maxDedupClients)
+	}
+}
+
+// TestDeltaRingStateRoundTrip: a session holding several delta bases exports
+// the whole ring, restores byte-identically, and the restored agent serves a
+// lagging participant an incremental delta against an imported ring base.
+func TestDeltaRingStateRoundTrip(t *testing.T) {
+	w := newWorld(t, nil)
+	w.hostNavigate(t, "http://"+sites.Table1[1].Host()+"/")
+	alice := w.join(t, "alice.lan")
+	bob := w.join(t, "bob.lan")
+	for _, s := range []*Snippet{alice, bob} {
+		if _, err := s.PollOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three edits with only alice keeping up: the ring retains three bases,
+	// and bob's ack is the second-oldest of them.
+	for i := 1; i <= 3; i++ {
+		hostEdit(t, w, i)
+		if _, err := alice.PollOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.agent.DeltaBasesRetained(); got != 3 {
+		t.Fatalf("DeltaBasesRetained = %d, want 3", got)
+	}
+
+	first, err := w.agent.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.server.Close()
+	w.agent.Close()
+
+	rb := browser.New("ringrestore.lan", w.corpus.Network.Dialer("ringrestore.lan"))
+	t.Cleanup(rb.Close)
+	restored, err := RestoreAgent(rb, agentAddr, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(restored.Close)
+	second, err := restored.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("ring export → import → export not byte-identical:\n first: %s\nsecond: %s", first, second)
+	}
+	if got := restored.DeltaBasesRetained(); got != 3 {
+		t.Fatalf("restored DeltaBasesRetained = %d, want 3", got)
+	}
+
+	l, err := w.corpus.Network.Listen(agentAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &httpwire.Server{Handler: restored}
+	srv.Start(l)
+	t.Cleanup(srv.Close)
+
+	// bob is three builds behind but his base survived the restore in the
+	// imported ring: his next poll must ride a delta, not a snapshot.
+	updated, err := bob.PollOnce()
+	if err != nil || !updated {
+		t.Fatalf("lagging poll after restore: updated=%v err=%v", updated, err)
+	}
+	if got := restored.DeltasServed(); got != 1 {
+		t.Fatalf("restored DeltasServed = %d, want 1", got)
+	}
+	if a, b := docHTML(t, alice.Browser), docHTML(t, bob.Browser); a != b {
+		t.Fatalf("replicas diverged across ring restore:\nalice: %s\n  bob: %s", a, b)
+	}
+}
+
+// TestStateImportV1SinglePrev: a checkpoint written before the delta-base
+// ring existed carries at most one base in the legacy Prev fields and no
+// "ring" key. It must still import — schema 1 is additive — and yield a
+// one-deep ring.
+func TestStateImportV1SinglePrev(t *testing.T) {
+	w := newWorld(t, nil)
+	w.hostNavigate(t, "http://"+sites.Table1[1].Host()+"/")
+	alice := w.join(t, "alice.lan")
+	if _, err := alice.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		hostEdit(t, w, i)
+		if _, err := alice.PollOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, err := w.agent.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the snapshot into its pre-ring shape: keep the newest base in
+	// the Prev fields, drop the Ring extension — exactly what an old writer
+	// would have produced.
+	var st agentState
+	if err := json.Unmarshal(state, &st); err != nil {
+		t.Fatal(err)
+	}
+	sawRing := false
+	for i := range st.Prepared {
+		if len(st.Prepared[i].Ring) > 0 {
+			sawRing = true
+		}
+		st.Prepared[i].Ring = nil
+	}
+	if !sawRing {
+		t.Fatal("test setup: export carried no ring extension to strip")
+	}
+	v1, err := json.Marshal(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rb := browser.New("v1restore.lan", w.corpus.Network.Dialer("v1restore.lan"))
+	t.Cleanup(rb.Close)
+	restored, err := RestoreAgent(rb, agentAddr, v1)
+	if err != nil {
+		t.Fatalf("v1 single-prev checkpoint refused: %v", err)
+	}
+	t.Cleanup(restored.Close)
+	if got := restored.DeltaBasesRetained(); got != 1 {
+		t.Fatalf("restored DeltaBasesRetained = %d, want 1 (the legacy Prev base)", got)
 	}
 }

@@ -107,3 +107,84 @@ func TestWakeDebounceMassPark(t *testing.T) {
 		t.Errorf("prepared docTime %d did not advance past %d", got, base)
 	}
 }
+
+// TestWakePrecomputeWarmsDeltas pins the wake-time precomputation: run the
+// hub's preWake hook over a delta-advertising fleet parked on one acked
+// base, exactly as the trailing wake does, and require it to build the new
+// content and the fleet's (base, target) delta before any poll is served —
+// so the whole woken fleet then rides warm cache hits: the diff runs exactly
+// once per distinct base and the single content build is shared.
+func TestWakePrecomputeWarmsDeltas(t *testing.T) {
+	const fleet = 16
+	w := newWorld(t, nil)
+	w.hostNavigate(t, "http://"+sites.Table1[1].Host()+"/")
+
+	polls := make([]*httpwire.Request, fleet)
+	pids := make([]string, fleet)
+	for i := range polls {
+		join := w.agent.ServeWire(httpwire.NewRequest("GET", "/"))
+		if join.StatusCode != 200 {
+			t.Fatalf("join %d returned %d", i, join.StatusCode)
+		}
+		cookie := join.Header.Get("Set-Cookie")
+		pid, _, _ := strings.Cut(strings.TrimPrefix(cookie, "rcbpid="), ";")
+		pids[i] = pid
+		req := httpwire.NewRequest("POST", "/poll")
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		req.Header.Set("Cookie", "rcbpid="+pid)
+		req.Body = []byte("ts=0")
+		if resp := w.agent.ServeWire(req); resp.StatusCode != 200 {
+			t.Fatalf("initial sync %d returned %d", i, resp.StatusCode)
+		}
+		polls[i] = req
+	}
+	base := w.agent.LatestDocTime()
+
+	// The host mutates; no poll has landed yet, so no build exists for the
+	// new version when the trailing wake would fire.
+	if err := w.host.ApplyMutation(func(doc *dom.Document) error {
+		doc.Body().SetAttr("data-tick", "woken")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	diffs0, builds0 := w.agent.DiffBuilds(), w.agent.ContentBuilds()
+
+	// The waiters the trailing wake would have collected: the whole fleet
+	// parked on one base, deltas advertised.
+	woken := make([]*pollWaiter, fleet)
+	for i, pid := range pids {
+		woken[i] = &pollWaiter{pid: pid, ts: base, deltaOK: true}
+	}
+	w.agent.warmWakeDeltas(woken)
+
+	if d := w.agent.ContentBuilds() - builds0; d != 1 {
+		t.Fatalf("precompute ran %d content builds, want exactly 1", d)
+	}
+	if d := w.agent.DiffBuilds() - diffs0; d != 1 {
+		t.Fatalf("precompute ran %d diffs for one distinct base, want exactly 1", d)
+	}
+
+	// Fan-out: every poll must be a warm hit — delta bytes out, zero
+	// additional diffs or builds.
+	for i, req := range polls {
+		req.Body = []byte("ts=" + strconv.FormatInt(base, 10) + "&delta=1")
+		resp := w.agent.ServeWire(req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("woken poll %d returned %d", i, resp.StatusCode)
+		}
+		if !MessageIsDelta(resp.Body) {
+			t.Fatalf("woken poll %d fell off the delta path:\n%s", i, resp.Body)
+		}
+	}
+	if d := w.agent.DiffBuilds() - diffs0; d != 1 {
+		t.Errorf("fleet fan-out re-ran the diff: %d total, want 1 (cache was cold)", d)
+	}
+	if d := w.agent.ContentBuilds() - builds0; d != 1 {
+		t.Errorf("fleet fan-out re-built content: %d total, want 1", d)
+	}
+	if got := w.agent.DeltasServed(); got < fleet {
+		t.Errorf("DeltasServed = %d, want at least the %d woken polls", got, fleet)
+	}
+}

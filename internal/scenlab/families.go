@@ -149,9 +149,19 @@ func (f *fleet) runChurn() error {
 // runLongHaul holds the session open over the seeded lossy/mobile link for
 // many paced rounds with background interaction — the long-lived-session
 // shape where resets, retries, and delta recovery all have to keep
-// netting out to convergence.
+// netting out to convergence. The whole lite fleet is delta-capable and
+// every round lands a short burst of host edits spaced wider than the
+// agent's WakeDebounce, so the round produces several builds and the slow
+// tail acks bases more than one build old: exactly the population the
+// multi-version delta ring has to keep on the delta path instead of the
+// full-snapshot path.
 func (f *fleet) runLongHaul() error {
 	rng := rand.New(rand.NewSource(f.cfg.Seed*0x2545F491 + 5))
+	f.allDelta = true
+	// Measured ~3 KB/lite/round with the ring vs ~9-10 KB when only the
+	// immediately-previous base is retained: a budget below the
+	// single-base cost turns a delta-ring regression into a violation.
+	f.roundBudget = 8 << 10
 	if err := f.spawnSentinels(); err != nil {
 		return err
 	}
@@ -164,7 +174,18 @@ func (f *fleet) runLongHaul() error {
 			f.fireToken(f.lites[rng.Intn(len(f.lites))])
 		}
 		name := fmt.Sprintf("haul-%d", r)
-		if err := f.measuredRound(name, func() error { return f.hostMutate(name) }, roundDeadline); err != nil {
+		err := f.measuredRound(name, func() error {
+			for b := 0; b < 3; b++ {
+				if b > 0 {
+					time.Sleep(20 * time.Millisecond)
+				}
+				if err := f.hostMutate(fmt.Sprintf("%s-%d", name, b)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, roundDeadline)
+		if err != nil {
 			return err
 		}
 		time.Sleep(50 * time.Millisecond)

@@ -287,6 +287,13 @@ func (l *lite) pollOnce() (time.Duration, error) {
 	}
 	if core.MessageIsDelta(resp.Body) {
 		l.deltaPolls.Add(1)
+		// With the multi-base delta ring, whatever base the agent picked
+		// must be the one this poll advertised — a patch against any other
+		// docTime would corrupt a real participant's DOM silently, since
+		// the DOM-less driver can't detect divergence.
+		if b, ok := baseDocTimeOf(resp.Body); !ok || b != ts {
+			l.f.violate("lite %d: delta patched base %d, advertised ts %d", l.idx, b, ts)
+		}
 	} else {
 		l.contentPolls.Add(1)
 	}
@@ -380,6 +387,27 @@ func docTimeOf(body []byte) (int64, bool) {
 		v = v*10 + int64(body[j]-'0')
 	}
 	if j == i+len(docTimeOpen) {
+		return 0, false
+	}
+	return v, true
+}
+
+var baseDocTimeOpen = []byte("<baseDocTime>")
+
+// baseDocTimeOf scans a deltaContent body for the base the patch script was
+// computed against — the honesty check that multi-base ring serving patched
+// against exactly the docTime this lite advertised.
+func baseDocTimeOf(body []byte) (int64, bool) {
+	i := bytes.Index(body, baseDocTimeOpen)
+	if i < 0 {
+		return 0, false
+	}
+	var v int64
+	j := i + len(baseDocTimeOpen)
+	for ; j < len(body) && body[j] >= '0' && body[j] <= '9'; j++ {
+		v = v*10 + int64(body[j]-'0')
+	}
+	if j == i+len(baseDocTimeOpen) {
 		return 0, false
 	}
 	return v, true

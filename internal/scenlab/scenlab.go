@@ -82,7 +82,7 @@ var (
 	ProfileLossy = Profile{
 		Name: "lossy", Link: netsim.Link{Jitter: time.Millisecond, LossRate: 0.02},
 		MeanStaleness: 3 * time.Second, MaxStaleness: 20 * time.Second,
-		JoinBytes: 128 << 10, RoundBytes: 64 << 10,
+		JoinBytes: 128 << 10, RoundBytes: 24 << 10,
 	}
 	ProfileMobile = Profile{
 		Name: "mobile", Link: func() netsim.Link {
@@ -91,7 +91,7 @@ var (
 			return l
 		}(),
 		MeanStaleness: 3 * time.Second, MaxStaleness: 20 * time.Second,
-		JoinBytes: 128 << 10, RoundBytes: 64 << 10,
+		JoinBytes: 128 << 10, RoundBytes: 24 << 10,
 	}
 )
 
